@@ -1,0 +1,15 @@
+"""Benchmark: regenerate ablation backstop (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_ablation_backstop
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_backstop(benchmark, small_scale):
+    """ablation backstop: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_ablation_backstop, small_scale)
+
+    # Disabling the backstop policy reduces offload.
+    assert (out.metrics["backstop_on_efficiency"]
+            >= out.metrics["backstop_off_efficiency"])

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate ablation locality (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_ablation_locality
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_locality(benchmark, small_scale):
+    """ablation locality: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_ablation_locality, small_scale)
+
+    # Locality-aware selection keeps traffic local at every radius.
+    assert out.metrics["locality_gain"] > 0.02
+    assert (out.metrics["locality_aware_intra_region"]
+            > out.metrics["random_intra_region"] + 0.2)

@@ -1,0 +1,14 @@
+"""Benchmark: the predictive-placement ablation (paper's non-feature)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_ablation_prefetch
+from benchmarks.conftest import run_experiment
+
+
+def test_ablation_prefetch(benchmark):
+    """Prefetching hot objects into thin regions helps a cold start."""
+    out = run_experiment(benchmark, exp_ablation_prefetch, "small")
+    assert out.metrics["placement_gain"] > 0.0
+    assert out.metrics["cold_prefetch_gb"] == 0.0
+    assert out.metrics["placement_prefetch_gb"] > 0.0

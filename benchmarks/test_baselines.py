@@ -1,0 +1,17 @@
+"""Benchmark: regenerate baselines (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_baselines
+from benchmarks.conftest import run_experiment
+
+
+def test_baselines(benchmark, small_scale):
+    """baselines: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_baselines, small_scale)
+
+    # The design-space contrast: only the hybrid offloads while keeping
+    # infrastructure-grade completion.
+    assert out.metrics["infra_offload"] == 0.0
+    assert out.metrics["hybrid_offload"] > 0.15
+    assert out.metrics["hybrid_completion"] > 0.85

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate fig10 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig10
+from benchmarks.conftest import run_experiment
+
+
+def test_fig10(benchmark, small_scale):
+    """fig10: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig10, small_scale)
+
+    # Heavy uploaders are the balanced ones.
+    assert out.metrics["heavy_mean_imbalance"] <= out.metrics["light_mean_imbalance"] + 0.3

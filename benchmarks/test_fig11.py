@@ -1,0 +1,14 @@
+"""Benchmark: regenerate fig11 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig11
+from benchmarks.conftest import run_experiment
+
+
+def test_fig11(benchmark, small_scale):
+    """fig11: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig11, small_scale)
+
+    if out.metrics["pairs"] > 0:
+        assert out.metrics["mean_pair_imbalance"] < 2.0

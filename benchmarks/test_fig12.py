@@ -1,0 +1,15 @@
+"""Benchmark: regenerate fig12 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig12
+from benchmarks.conftest import run_experiment
+
+
+def test_fig12(benchmark, mobility_scale):
+    """fig12: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig12, mobility_scale)
+
+    # A small minority of installations show rollback trees.
+    assert 0.0 < out.metrics["nonlinear_fraction"] < 0.08
+    assert out.metrics["linear_fraction"] > 0.9

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate fig2 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig2
+from benchmarks.conftest import run_experiment
+
+
+def test_fig2(benchmark, small_scale):
+    """fig2: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig2, small_scale)
+
+    # Figure 2: Europe ~35%, North America ~27% of peers.
+    assert 0.20 <= out.metrics["europe_share"] <= 0.50
+    assert 0.10 <= out.metrics["north_america_share"] <= 0.40
+    assert out.metrics["locations"] > 30

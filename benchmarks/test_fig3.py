@@ -1,0 +1,16 @@
+"""Benchmark: regenerate fig3 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig3
+from benchmarks.conftest import run_experiment
+
+
+def test_fig3(benchmark, small_scale):
+    """fig3: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig3, small_scale)
+
+    # (a) p2p requests biased large; (b) power law; (c) diurnal swing.
+    assert out.metrics["p2p_large_request_fraction"] > 0.6
+    assert out.metrics["popularity_slope"] < -0.4
+    assert out.metrics["diurnal_peak_to_trough"] > 1.5

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate fig4 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig4
+from benchmarks.conftest import run_experiment
+
+
+def test_fig4(benchmark, small_scale):
+    """fig4: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig4, small_scale)
+
+    # Peer-assisted downloads run at the same order of magnitude as
+    # edge-only ones — somewhat slower in the paper; at bench scale the
+    # pooled ratio just has to stay in a sane band, with both classes at
+    # multiple Mbps.
+    ratio = out.metrics.get("median_speed_ratio_p2p_over_edge")
+    if ratio is not None:
+        assert 0.2 < ratio < 2.0
+        assert out.metrics["median_edge_mbps"] > 1.0
+        assert out.metrics["median_p2p_mbps"] > 1.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate fig5 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig5
+from benchmarks.conftest import run_experiment
+
+
+def test_fig5(benchmark, small_scale):
+    """fig5: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig5, small_scale)
+
+    # Efficiency rises with registered copies.
+    assert out.metrics["monotone_gain"] > 0.1
+    assert out.metrics["high_copy_efficiency"] > 0.5

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate fig6 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig6
+from benchmarks.conftest import run_experiment
+
+
+def test_fig6(benchmark, small_scale):
+    """fig6: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig6, small_scale)
+
+    # Zero candidates -> zero efficiency; tens of candidates -> high.
+    assert out.metrics.get("zero_peer_efficiency", 0.0) < 0.05
+    assert out.metrics["saturation_efficiency"] > 0.6

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate fig7 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig7
+from benchmarks.conftest import run_experiment
+
+
+def test_fig7(benchmark, small_scale):
+    """fig7: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig7, small_scale)
+
+    # Larger downloads are terminated more often.
+    assert out.metrics["monotone_gap"] > 0.0
+    assert out.metrics["small_file_pause_rate"] < 0.05

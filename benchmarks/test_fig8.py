@@ -1,0 +1,13 @@
+"""Benchmark: regenerate fig8 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig8
+from benchmarks.conftest import run_experiment
+
+
+def test_fig8(benchmark, small_scale):
+    """fig8: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig8, small_scale)
+
+    assert out.metrics["countries"] >= 3

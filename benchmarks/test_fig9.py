@@ -1,0 +1,15 @@
+"""Benchmark: regenerate fig9 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fig9
+from benchmarks.conftest import run_experiment
+
+
+def test_fig9(benchmark, small_scale):
+    """fig9: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_fig9, small_scale)
+
+    # Heavy-tailed upload distribution; some intra-AS traffic.
+    assert out.metrics["heavy_as_share"] < 0.6
+    assert out.metrics["observed_ases"] > 20

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the §5.3 corporate-LAN extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_lan_updates
+from benchmarks.conftest import run_experiment
+
+
+def test_lan_updates(benchmark):
+    """LAN sites keep update bytes in the building and speed up the push."""
+    out = run_experiment(benchmark, exp_lan_updates, "small")
+    assert out.metrics["lan_site_local"] > 0.5
+    assert out.metrics["nolan_site_local"] == 0.0
+    assert out.metrics["lan_median_minutes"] <= out.metrics["nolan_median_minutes"]
+    assert out.metrics["lan_offload"] > 0.5

@@ -1,0 +1,15 @@
+"""Benchmark: the §7 Antfarm comparison (managed vs naive seeding)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_managed_swarm
+from benchmarks.conftest import run_experiment
+
+
+def test_managed_swarm(benchmark):
+    """Coordinated seeding must not lose to the naive equal split."""
+    out = run_experiment(benchmark, exp_managed_swarm, "small")
+    assert out.metrics["managed_completed"] >= out.metrics["equal_split_completed"]
+    if out.metrics["managed_completed"] == out.metrics["equal_split_completed"]:
+        assert (out.metrics["managed_mean_minutes"]
+                <= out.metrics["equal_split_mean_minutes"] * 1.10)

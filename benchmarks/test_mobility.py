@@ -1,0 +1,16 @@
+"""Benchmark: regenerate mobility (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_mobility
+from benchmarks.conftest import run_experiment
+
+
+def test_mobility(benchmark, mobility_scale):
+    """mobility: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_mobility, mobility_scale)
+
+    # §6.2: ~80% single-AS, ~77% within 10 km.
+    assert 0.6 <= out.metrics["one_as"] <= 0.95
+    assert 0.5 <= out.metrics["within_10km"] <= 0.95
+    assert out.metrics["two_as"] > out.metrics["more_as"] * 0.5

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate offload (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_offload
+from benchmarks.conftest import run_experiment
+
+
+def test_offload(benchmark, small_scale):
+    """offload: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_offload, small_scale)
+
+    # §5.1: a small file fraction carries an outsized byte share, and
+    # peer-assisted downloads get most bytes from peers.
+    assert out.metrics["p2p_file_fraction"] < 0.05
+    assert out.metrics["p2p_byte_share"] > 5 * out.metrics["p2p_file_fraction"]
+    assert out.metrics["mean_peer_efficiency"] > 0.5
+    assert out.metrics["byte_weighted_efficiency"] > 0.5

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate reliability (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_reliability
+from benchmarks.conftest import run_experiment
+
+
+def test_reliability(benchmark, small_scale):
+    """reliability: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_reliability, small_scale)
+
+    # §5.2: both classes complete the vast majority; p2p pauses more.
+    assert out.metrics["infra_completed"] > 0.9
+    assert out.metrics["p2p_completed"] > 0.75
+    assert out.metrics["p2p_aborted"] >= out.metrics["infra_aborted"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate table1 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_table1
+from benchmarks.conftest import run_experiment
+
+
+def test_table1(benchmark, small_scale):
+    """table1: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_table1, small_scale)
+
+    assert out.metrics["ips_per_guid"] > 1.0       # IPs outnumber GUIDs
+    assert out.metrics["countries"] >= 20
+    assert out.metrics["downloads"] > 0

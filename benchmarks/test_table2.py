@@ -1,0 +1,14 @@
+"""Benchmark: regenerate table2 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_table2
+from benchmarks.conftest import run_experiment
+
+
+def test_table2(benchmark, small_scale):
+    """table2: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_table2, small_scale)
+
+    # Regional mixes should track Table 2 within a few percentage points.
+    assert out.metrics["mean_abs_error_pp"] < 8.0

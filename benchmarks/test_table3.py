@@ -1,0 +1,14 @@
+"""Benchmark: regenerate table3 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_table3
+from benchmarks.conftest import run_experiment
+
+
+def test_table3(benchmark, small_scale):
+    """table3: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_table3, small_scale)
+
+    # ">99% of the peers keep their initial setting"
+    assert out.metrics["keep_initial_fraction"] > 0.97

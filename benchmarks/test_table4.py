@@ -1,0 +1,13 @@
+"""Benchmark: regenerate table4 (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_table4
+from benchmarks.conftest import run_experiment
+
+
+def test_table4(benchmark, small_scale):
+    """table4: shape assertions against the paper's findings."""
+    out = run_experiment(benchmark, exp_table4, small_scale)
+
+    assert out.metrics["mean_abs_error_pp"] < 15.0

@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+``pip install -e . --no-build-isolation`` on older pip/setuptools falls back
+to ``setup.py develop``, which needs this file; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,201 @@
+"""Anonymized trace export/import — the paper's data-release format.
+
+"To protect the privacy of users and content providers, the data in our
+logs have been anonymized by hashing the file names, IP addresses, and
+GUIDs" (paper §4.1).  This module writes a :class:`LogStore` plus its
+geolocation data set to JSON-lines files with exactly that anonymization —
+keyed salted hashes, consistent across record types so joins still work —
+and reads such an export back for offline analysis.
+
+Every analysis in :mod:`repro.analysis` runs unchanged on a re-imported
+trace: the pipeline only ever joins on the (hashed) identifiers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.logstore import LogStore
+from repro.analysis.records import DownloadRecord, LoginRecord, RegistrationRecord
+from repro.net.geo import GeoDatabase, GeoRecord
+
+__all__ = ["Anonymizer", "export_trace", "import_trace"]
+
+
+class Anonymizer:
+    """Salted, consistent hashing of GUIDs, IPs, URLs, and secondary GUIDs.
+
+    The same input always maps to the same token within one salt, so the
+    cross-record joins the analyses rely on (download→login→geo) survive
+    anonymization; different salts produce unlinkable data sets.
+    """
+
+    def __init__(self, salt: str = "netsession-release"):
+        self.salt = salt
+        self._cache: dict[tuple[str, str], str] = {}
+
+    def token(self, kind: str, value: str) -> str:
+        """Anonymize one value within a namespace (guid/ip/url/sguid)."""
+        if not value:
+            return value
+        key = (kind, value)
+        cached = self._cache.get(key)
+        if cached is None:
+            digest = hashlib.sha256(
+                f"{self.salt}|{kind}|{value}".encode()
+            ).hexdigest()[:20]
+            cached = f"{kind}-{digest}"
+            self._cache[key] = cached
+        return cached
+
+
+def export_trace(
+    logs: LogStore,
+    geodb: GeoDatabase,
+    directory: str | Path,
+    *,
+    salt: str = "netsession-release",
+) -> dict[str, int]:
+    """Write the anonymized trace to ``directory``.
+
+    Produces ``downloads.jsonl``, ``logins.jsonl``, ``registrations.jsonl``
+    and ``geolocation.jsonl``.  Returns the record counts per file.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    anon = Anonymizer(salt)
+    counts: dict[str, int] = {}
+
+    seen_ips: set[str] = set()
+
+    with open(directory / "downloads.jsonl", "w") as f:
+        for rec in logs.downloads:
+            seen_ips.add(rec.ip)
+            f.write(json.dumps({
+                "guid": anon.token("guid", rec.guid),
+                "url": anon.token("url", rec.url),
+                "cid": anon.token("url", rec.cid),
+                "cp_code": rec.cp_code,
+                "size": rec.size,
+                "started_at": rec.started_at,
+                "ended_at": rec.ended_at,
+                "edge_bytes": rec.edge_bytes,
+                "peer_bytes": rec.peer_bytes,
+                "p2p_enabled": rec.p2p_enabled,
+                "outcome": rec.outcome,
+                "failure_class": rec.failure_class,
+                "ip": anon.token("ip", rec.ip),
+                "peers_initially_returned": rec.peers_initially_returned,
+                "per_uploader_bytes": {
+                    anon.token("guid", g): b
+                    for g, b in rec.per_uploader_bytes.items()
+                },
+                "corrupted_bytes": rec.corrupted_bytes,
+                "prefetch": rec.prefetch,
+            }) + "\n")
+        counts["downloads"] = len(logs.downloads)
+
+    with open(directory / "logins.jsonl", "w") as f:
+        for rec in logs.logins:
+            seen_ips.add(rec.ip)
+            f.write(json.dumps({
+                "guid": anon.token("guid", rec.guid),
+                "ip": anon.token("ip", rec.ip),
+                "timestamp": rec.timestamp,
+                "software_version": rec.software_version,
+                "uploads_enabled": rec.uploads_enabled,
+                "secondary_guids": [
+                    anon.token("sguid", s) for s in rec.secondary_guids
+                ],
+            }) + "\n")
+        counts["logins"] = len(logs.logins)
+
+    with open(directory / "registrations.jsonl", "w") as f:
+        for rec in logs.registrations:
+            f.write(json.dumps({
+                "guid": anon.token("guid", rec.guid),
+                "cid": anon.token("url", rec.cid),
+                "timestamp": rec.timestamp,
+                "network_region": rec.network_region,
+            }) + "\n")
+        counts["registrations"] = len(logs.registrations)
+
+    with open(directory / "geolocation.jsonl", "w") as f:
+        n = 0
+        for ip in sorted(seen_ips):
+            if not ip:
+                continue
+            geo = geodb.get(ip)
+            if geo is None:
+                continue
+            f.write(json.dumps({
+                "ip": anon.token("ip", ip),
+                "country_code": geo.country_code,
+                "region": geo.region,
+                "city": geo.city,
+                "lat": geo.lat,
+                "lon": geo.lon,
+                "timezone": geo.timezone,
+                "network": geo.network,
+                "asn": geo.asn,
+            }) + "\n")
+            n += 1
+        counts["geolocation"] = n
+
+    return counts
+
+
+def import_trace(directory: str | Path) -> tuple[LogStore, GeoDatabase]:
+    """Read an exported trace back into (LogStore, GeoDatabase)."""
+    directory = Path(directory)
+    logs = LogStore()
+    geodb = GeoDatabase()
+
+    with open(directory / "downloads.jsonl") as f:
+        for line in f:
+            row = json.loads(line)
+            logs.add_download(DownloadRecord(
+                guid=row["guid"], url=row["url"], cid=row["cid"],
+                cp_code=row["cp_code"], size=row["size"],
+                started_at=row["started_at"], ended_at=row["ended_at"],
+                edge_bytes=row["edge_bytes"], peer_bytes=row["peer_bytes"],
+                p2p_enabled=row["p2p_enabled"], outcome=row["outcome"],
+                failure_class=row["failure_class"], ip=row["ip"],
+                peers_initially_returned=row["peers_initially_returned"],
+                per_uploader_bytes=dict(row["per_uploader_bytes"]),
+                corrupted_bytes=row["corrupted_bytes"],
+                prefetch=row.get("prefetch", False),
+            ))
+
+    with open(directory / "logins.jsonl") as f:
+        for line in f:
+            row = json.loads(line)
+            logs.add_login(LoginRecord(
+                guid=row["guid"], ip=row["ip"], timestamp=row["timestamp"],
+                software_version=row["software_version"],
+                uploads_enabled=row["uploads_enabled"],
+                secondary_guids=tuple(row["secondary_guids"]),
+            ))
+
+    with open(directory / "registrations.jsonl") as f:
+        for line in f:
+            row = json.loads(line)
+            logs.add_registration(RegistrationRecord(
+                guid=row["guid"], cid=row["cid"],
+                timestamp=row["timestamp"],
+                network_region=row["network_region"],
+            ))
+
+    with open(directory / "geolocation.jsonl") as f:
+        for line in f:
+            row = json.loads(line)
+            geodb.register(row["ip"], GeoRecord(
+                country_code=row["country_code"], region=row["region"],
+                city=row["city"], lat=row["lat"], lon=row["lon"],
+                timezone=row["timezone"], network=row["network"],
+                asn=row["asn"],
+            ))
+
+    return logs, geodb

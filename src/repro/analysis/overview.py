@@ -1,0 +1,128 @@
+"""Section 4 analyses: overall statistics, provider mix, peer geography.
+
+* :func:`table1_overall_statistics` — Table 1 (data-set counts);
+* :func:`table2_provider_regions` — Table 2 (downloads by region for the
+  largest content providers);
+* :func:`figure2_peer_distribution` — Figure 2 (peer count per location,
+  i.e. the bubble sizes, keyed by the first connection's location).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.logstore import LogStore
+from repro.net.geo import GeoDatabase, REGIONS
+
+__all__ = [
+    "OverallStatistics", "table1_overall_statistics",
+    "table2_provider_regions", "figure2_peer_distribution",
+]
+
+
+@dataclass
+class OverallStatistics:
+    """Table 1's rows for a trace."""
+
+    log_entries: int
+    guids: int
+    distinct_urls: int
+    distinct_ips: int
+    downloads_initiated: int
+    geolocated_ips: int
+    distinct_locations: int
+    distinct_asns: int
+    distinct_countries: int
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(label, value) rows in the paper's order."""
+        return [
+            ("Log entries", self.log_entries),
+            ("Number of GUIDs", self.guids),
+            ("Distinct URLs", self.distinct_urls),
+            ("Distinct IPs", self.distinct_ips),
+            ("Downloads initiated", self.downloads_initiated),
+            ("Geolocated distinct IPs", self.geolocated_ips),
+            ("Distinct locations", self.distinct_locations),
+            ("Distinct autonomous systems", self.distinct_asns),
+            ("Distinct country codes", self.distinct_countries),
+        ]
+
+
+def table1_overall_statistics(logs: LogStore, geodb: GeoDatabase) -> OverallStatistics:
+    """Compute Table 1 from the trace plus the geolocation data set."""
+    observed_ips = logs.distinct_ips()
+    geo_seen = [geodb.get(ip) for ip in observed_ips]
+    geo_seen = [g for g in geo_seen if g is not None]
+    return OverallStatistics(
+        log_entries=logs.entry_count(),
+        guids=len(logs.distinct_guids()),
+        distinct_urls=len(logs.distinct_urls()),
+        distinct_ips=len(observed_ips),
+        downloads_initiated=len(logs.downloads),
+        geolocated_ips=len(geo_seen),
+        distinct_locations=len({(g.lat, g.lon) for g in geo_seen}),
+        distinct_asns=len({g.asn for g in geo_seen}),
+        distinct_countries=len({g.country_code for g in geo_seen}),
+    )
+
+
+def table2_provider_regions(
+    logs: LogStore,
+    geodb: GeoDatabase,
+    *,
+    top_n: int = 10,
+) -> dict[str, dict[str, float]]:
+    """Downloads per region for the ``top_n`` providers plus "All".
+
+    Returns ``{provider_key: {region: fraction}}`` where provider keys are
+    ``cp<code>`` sorted by download volume, plus the aggregate row
+    ``"All customers"``.  Fractions are of that provider's geolocated
+    downloads (the paper's Table 2 is row-normalised percentages).
+    """
+    per_provider: dict[int, Counter] = defaultdict(Counter)
+    volumes: Counter = Counter()
+    for rec in logs.downloads:
+        geo = geodb.get(rec.ip)
+        if geo is None:
+            continue
+        per_provider[rec.cp_code][geo.region] += 1
+        volumes[rec.cp_code] += 1
+
+    top = [cp for cp, _count in volumes.most_common(top_n)]
+    result: dict[str, dict[str, float]] = {}
+    all_row: Counter = Counter()
+    for cp in top:
+        counts = per_provider[cp]
+        total = sum(counts.values())
+        result[f"cp{cp}"] = {
+            region: counts.get(region, 0) / total for region in REGIONS
+        }
+    for counts in per_provider.values():
+        all_row.update(counts)
+    grand_total = sum(all_row.values())
+    if grand_total:
+        result["All customers"] = {
+            region: all_row.get(region, 0) / grand_total for region in REGIONS
+        }
+    return result
+
+
+def figure2_peer_distribution(
+    logs: LogStore,
+    geodb: GeoDatabase,
+) -> dict[tuple[float, float], int]:
+    """Figure 2's bubbles: peers per location of *first* connection.
+
+    Returns ``{(lat, lon): peer count}``.
+    """
+    first_seen: dict[str, tuple[float, float]] = {}
+    for rec in logs.logins:  # append order == time order
+        if rec.guid in first_seen:
+            continue
+        geo = geodb.get(rec.ip)
+        if geo is not None:
+            first_seen[rec.guid] = (geo.lat, geo.lon)
+    bubbles: Counter = Counter(first_seen.values())
+    return dict(bubbles)

@@ -1,0 +1,122 @@
+"""Log record schemas — the interface between the system and the study.
+
+The paper's measurement study (§4.1) works from control-plane logs with two
+kinds of entries — download records and login records — joined against
+EdgeScape geolocation data, plus DN registration entries (used for the
+copies-vs-efficiency analysis of Figure 5).  Our simulated control plane
+emits records with the same fields, anonymized the same way (file names,
+IPs, and GUIDs are hashed in the paper; we keep raw values and hash at
+export time, since our values are already synthetic).
+
+The analysis layer consumes *only* these records plus the geo database —
+never simulator internals — so the measurement code paths are the same ones
+the authors ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DownloadRecord", "LoginRecord", "RegistrationRecord",
+    "OUTCOME_COMPLETED", "OUTCOME_FAILED", "OUTCOME_ABORTED",
+    "FAILURE_SYSTEM", "FAILURE_OTHER",
+]
+
+OUTCOME_COMPLETED = "completed"
+OUTCOME_FAILED = "failed"
+OUTCOME_ABORTED = "aborted"    # paused/terminated by the user, never resumed
+
+FAILURE_SYSTEM = "system"      # e.g. too many corrupted content blocks
+FAILURE_OTHER = "other"        # e.g. user's disk full
+
+
+@dataclass
+class DownloadRecord:
+    """One download, as recorded by the CN when it ends (paper §4.1).
+
+    "the CN records information about the download, including the GUID of
+    the peer, the name and size of the file, the CP code, the time the
+    download started and ended, and the number of bytes downloaded from the
+    infrastructure and from peers."
+    """
+
+    guid: str
+    url: str
+    cid: str
+    cp_code: int
+    size: int
+    started_at: float
+    ended_at: float
+    edge_bytes: int
+    peer_bytes: int
+    p2p_enabled: bool
+    outcome: str
+    failure_class: str | None = None
+    ip: str = ""
+    #: Number of peer candidates the control plane returned on the first
+    #: query (Figure 6's x-axis); 0 for infrastructure-only downloads.
+    peers_initially_returned: int = 0
+    #: Bytes received from each uploader GUID (drives the §6.1 AS matrix).
+    per_uploader_bytes: dict[str, int] = field(default_factory=dict)
+    #: Bytes discarded due to failed piece verification.
+    corrupted_bytes: int = 0
+    #: True when the download was started by the predictive-placement
+    #: policy rather than a user (the extension NetSession lacks; §5.2).
+    prefetch: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        """Useful bytes obtained from all sources."""
+        return self.edge_bytes + self.peer_bytes
+
+    @property
+    def peer_fraction(self) -> float:
+        """Fraction of useful bytes that came from peers (peer efficiency)."""
+        total = self.total_bytes
+        if total <= 0:
+            return 0.0
+        return self.peer_bytes / total
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock length of the download, including paused time."""
+        return self.ended_at - self.started_at
+
+    def average_speed_bps(self) -> float:
+        """Average download speed in bytes/second over the full duration."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes / self.duration
+
+
+@dataclass
+class LoginRecord:
+    """One control-plane connection, as recorded by the CN (paper §4.1).
+
+    "when a peer opens a connection to the control plane, the CN records the
+    peer's current IP address, its software version, and whether or not
+    uploads are enabled on that peer."
+    """
+
+    guid: str
+    ip: str
+    timestamp: float
+    software_version: str
+    uploads_enabled: bool
+    #: Last five secondary GUIDs, newest first (§6.2 instrumentation).
+    secondary_guids: tuple[str, ...] = ()
+
+
+@dataclass
+class RegistrationRecord:
+    """A DN log entry: a peer registered a complete copy of an object.
+
+    Figure 5 counts these per file to estimate how many copies were
+    available.
+    """
+
+    guid: str
+    cid: str
+    timestamp: float
+    network_region: str

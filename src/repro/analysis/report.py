@@ -1,0 +1,89 @@
+"""Text rendering of tables and figure series, paper-style.
+
+Every experiment runner prints through these helpers so benchmark output
+looks like the paper's tables: fixed-width rows, percentages where the
+paper uses percentages, and an optional paper-value column for visual
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "render_comparison", "pct", "human_bytes"]
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count with binary-ish SI units (paper uses kB/MB/GB/TB)."""
+    for unit in ("B", "kB", "MB", "GB", "TB", "PB"):
+        if abs(n) < 1000.0:
+            return f"{n:.1f}{unit}"
+        n /= 1000.0
+    return f"{n:.1f}EB"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    min_width: int = 10,
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(
+            cell.ljust(w) for cell, w in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    samples: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render figure series as downsampled (x, y) rows per named line.
+
+    CDFs and curves have hundreds of points; benchmarks print a dozen
+    evenly spaced samples per series, which is enough to read the shape.
+    """
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"[{name}]  ({len(points)} points)  {x_label} -> {y_label}")
+        if not points:
+            lines.append("  (empty)")
+            continue
+        if len(points) <= samples:
+            shown = points
+        else:
+            step = (len(points) - 1) / (samples - 1)
+            shown = [points[round(i * step)] for i in range(samples)]
+        for x, y in shown:
+            lines.append(f"  {x:>14.4g}  {y:>10.4g}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    rows: Iterable[tuple[str, object, object]],
+) -> str:
+    """Render (metric, paper value, measured value) comparison rows."""
+    table_rows = [(m, str(p), str(v)) for m, p, v in rows]
+    return render_table(title, ["metric", "paper", "measured"], table_rows)

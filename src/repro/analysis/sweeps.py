@@ -1,0 +1,147 @@
+"""Parameter sweeps: how the headline results move with the environment.
+
+The paper reports one production operating point; a reproduction can ask
+the questions the authors could not — how does peer efficiency scale with
+the installed base, with the upload-enabled fraction (Table 4's lever), or
+with the warm content density (Figure 5's x-axis, controlled directly)?
+
+Each sweep runs a series of small scenarios varying one knob and returns
+``SweepResult`` rows ready for plotting or table rendering.  These power
+the ablation/extension analyses in EXPERIMENTS.md and give downstream
+users a template for their own studies.
+
+Import directly (``from repro.analysis.sweeps import sweep_warm_copies``) —
+this module sits above the workload layer and is deliberately not re-exported
+from ``repro.analysis`` to keep the package import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.analysis.benefits import offload_summary
+from repro.workload import (
+    DemandConfig, PopulationConfig, ScenarioConfig, ScenarioResult, run_scenario,
+)
+
+__all__ = ["SweepPoint", "SweepResult", "sweep",
+           "sweep_population", "sweep_warm_copies", "sweep_upload_enabled"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One scenario evaluation within a sweep."""
+
+    knob: float
+    mean_peer_efficiency: float
+    byte_weighted_efficiency: float
+    p2p_byte_share: float
+    completed_fraction: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A finished sweep: knob name plus the measured points, knob-sorted."""
+
+    knob_name: str
+    points: tuple[SweepPoint, ...]
+
+    def series(self, metric: str = "byte_weighted_efficiency") -> list[tuple[float, float]]:
+        """(knob, metric) pairs for plotting/rendering."""
+        return [(p.knob, getattr(p, metric)) for p in self.points]
+
+    def is_monotone_nondecreasing(self, metric: str = "byte_weighted_efficiency",
+                                  tolerance: float = 0.05) -> bool:
+        """Does the metric rise (within tolerance) along the knob?"""
+        values = [getattr(p, metric) for p in self.points]
+        return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+
+def _evaluate(result: ScenarioResult, knob: float) -> SweepPoint:
+    summary = offload_summary(result.logstore)
+    downloads = result.logstore.downloads
+    completed = sum(1 for r in downloads if r.outcome == "completed")
+    return SweepPoint(
+        knob=knob,
+        mean_peer_efficiency=summary.mean_peer_efficiency,
+        byte_weighted_efficiency=summary.byte_weighted_efficiency,
+        p2p_byte_share=summary.p2p_byte_share,
+        completed_fraction=completed / len(downloads) if downloads else 0.0,
+    )
+
+
+def sweep(
+    knob_name: str,
+    values: list[float],
+    configure: Callable[[ScenarioConfig, float], ScenarioConfig],
+    *,
+    base: ScenarioConfig | None = None,
+    seed: int = 42,
+) -> SweepResult:
+    """Run ``configure(base, v)`` for each knob value and measure offload."""
+    if base is None:
+        base = _small_base(seed)
+    points = []
+    for value in values:
+        result = run_scenario(configure(base, value))
+        points.append(_evaluate(result, value))
+    return SweepResult(knob_name=knob_name, points=tuple(points))
+
+
+def _small_base(seed: int) -> ScenarioConfig:
+    from repro.workload import CatalogConfig
+
+    return ScenarioConfig(
+        seed=seed,
+        duration_days=2.0,
+        population=PopulationConfig(n_peers=600),
+        catalog=CatalogConfig(objects_per_provider=30),
+        demand=DemandConfig(total_downloads=700, duration_days=2.0),
+    )
+
+
+def sweep_population(
+    sizes: list[float] | None = None, *, seed: int = 42,
+    base: ScenarioConfig | None = None,
+) -> SweepResult:
+    """Peer efficiency vs installed-base size (the paper's growth story)."""
+    sizes = sizes if sizes is not None else [200, 500, 1000]
+
+    def configure(cfg: ScenarioConfig, value: float) -> ScenarioConfig:
+        return replace(cfg, population=replace(cfg.population,
+                                               n_peers=int(value)))
+
+    return sweep("n_peers", sizes, configure, seed=seed, base=base)
+
+
+def sweep_warm_copies(
+    densities: list[float] | None = None, *, seed: int = 42,
+    base: ScenarioConfig | None = None,
+) -> SweepResult:
+    """Peer efficiency vs content density (Figure 5's axis, set directly)."""
+    densities = densities if densities is not None else [0.0, 1.0, 4.0]
+
+    def configure(cfg: ScenarioConfig, value: float) -> ScenarioConfig:
+        return replace(cfg, warm_copies_per_peer=value)
+
+    return sweep("warm_copies_per_peer", densities, configure, seed=seed,
+                 base=base)
+
+
+def sweep_upload_enabled(
+    rates: list[float] | None = None, *, seed: int = 42,
+    base: ScenarioConfig | None = None,
+) -> SweepResult:
+    """Peer efficiency vs upload-enabled fraction (Table 4's lever).
+
+    Overrides every provider's binary default with one rate: what would the
+    system deliver if all customers shipped like Customer D (94%) — or like
+    Customer A (<1%)?
+    """
+    rates = rates if rates is not None else [0.05, 0.3, 0.9]
+
+    def configure(cfg: ScenarioConfig, value: float) -> ScenarioConfig:
+        return replace(cfg, upload_rate_override=value)
+
+    return sweep("upload_enabled_rate", rates, configure, seed=seed, base=base)

@@ -1,0 +1,111 @@
+"""Section 4.4 analyses: the workload's shape (Figure 3).
+
+* :func:`figure3a_size_cdfs` — request distribution by object size, split
+  into infrastructure-only / all / peer-assisted (the paper's headline:
+  82% of peer-assisted requests are for objects larger than 500 MB);
+* :func:`figure3b_popularity` — downloads per object by popularity rank
+  (the "nearly ubiquitous power law");
+* :func:`figure3c_bytes_over_time` — bytes served per hour across the trace
+  (the diurnal pattern).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis.logstore import LogStore
+from repro.analysis.stats import cdf_points
+
+__all__ = [
+    "figure3a_size_cdfs", "figure3b_popularity", "figure3c_bytes_over_time",
+    "fraction_of_requests_above", "power_law_exponent",
+]
+
+
+def figure3a_size_cdfs(logs: LogStore) -> dict[str, list[tuple[float, float]]]:
+    """CDFs of request count vs object size (GB), per delivery class.
+
+    Returns ``{"infrastructure": [...], "all": [...], "peer_assisted": [...]}``
+    with (size_gb, cumulative fraction) points.
+    """
+    infra: list[float] = []
+    p2p: list[float] = []
+    for rec in logs.downloads:
+        size_gb = rec.size / 1e9
+        if rec.p2p_enabled:
+            p2p.append(size_gb)
+        else:
+            infra.append(size_gb)
+    return {
+        "infrastructure": cdf_points(infra),
+        "all": cdf_points(infra + p2p),
+        "peer_assisted": cdf_points(p2p),
+    }
+
+
+def fraction_of_requests_above(logs: LogStore, size_bytes: float,
+                               *, p2p_only: bool = True) -> float:
+    """Fraction of (peer-assisted) requests for objects above a size.
+
+    The paper reports 82% of peer-assisted requests above 500 MB.
+    """
+    pool = [r for r in logs.downloads if r.p2p_enabled] if p2p_only else logs.downloads
+    if not pool:
+        return 0.0
+    return sum(1 for r in pool if r.size > size_bytes) / len(pool)
+
+
+def figure3b_popularity(logs: LogStore) -> list[tuple[int, int]]:
+    """Downloads per object, by descending popularity rank.
+
+    Returns (rank, download count) with rank starting at 1 — both axes are
+    plotted on log scales in the paper.
+    """
+    counts = Counter(rec.cid for rec in logs.downloads)
+    ordered = sorted(counts.values(), reverse=True)
+    return [(rank + 1, count) for rank, count in enumerate(ordered)]
+
+
+def power_law_exponent(series: list[tuple[int, int]]) -> float:
+    """Least-squares slope of log(count) vs log(rank) — the Zipf exponent.
+
+    Returns the (negative) slope; a workload is "power-law-ish" when this
+    is clearly below zero.  Requires at least three distinct ranks.
+    """
+    if len(series) < 3:
+        raise ValueError("need at least 3 points to fit a power law")
+    ranks = np.log10([r for r, _ in series])
+    counts = np.log10([max(c, 1) for _, c in series])
+    slope, _intercept = np.polyfit(ranks, counts, 1)
+    return float(slope)
+
+
+def figure3c_bytes_over_time(
+    logs: LogStore,
+    *,
+    bucket_seconds: float = 3600.0,
+) -> list[tuple[float, float]]:
+    """Bytes delivered per time bucket (Figure 3c's TB/hour series).
+
+    A download's bytes are attributed uniformly across its duration, which
+    matches how a byte-rate plot of flow logs behaves.  Returns
+    (bucket start time, bytes in bucket).
+    """
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    buckets: Counter = Counter()
+    for rec in logs.downloads:
+        total = rec.total_bytes
+        if total <= 0:
+            continue
+        start, end = rec.started_at, max(rec.ended_at, rec.started_at + 1.0)
+        duration = end - start
+        first = int(start // bucket_seconds)
+        last = int((end - 1e-9) // bucket_seconds)
+        for b in range(first, last + 1):
+            lo = max(start, b * bucket_seconds)
+            hi = min(end, (b + 1) * bucket_seconds)
+            buckets[b] += total * (hi - lo) / duration
+    return [(b * bucket_seconds, v) for b, v in sorted(buckets.items())]

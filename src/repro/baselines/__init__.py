@@ -1,0 +1,21 @@
+"""Baselines: the two ends of the CDN design space (paper §2.1).
+
+* :func:`make_infrastructure_cdn` — pure infrastructure delivery (NetSession
+  with peer assist switched off);
+* :class:`PureP2PSwarm` — a BitTorrent-like pure peer-to-peer CDN with
+  tit-for-tat incentives and no backstop.
+"""
+
+from repro.baselines.infra_cdn import (
+    InfraCostReport, infrastructure_cost, make_infrastructure_cdn,
+)
+from repro.baselines.managed_swarm import ManagedSwarmConfig, ManagedSwarmSystem
+from repro.baselines.p2p_cdn import (
+    P2PConfig, P2PDownload, P2PPeer, PureP2PSwarm, Torrent,
+)
+
+__all__ = [
+    "make_infrastructure_cdn", "infrastructure_cost", "InfraCostReport",
+    "PureP2PSwarm", "P2PConfig", "P2PPeer", "P2PDownload", "Torrent",
+    "ManagedSwarmSystem", "ManagedSwarmConfig",
+]

@@ -1,0 +1,117 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available experiments (one per paper table/figure).
+``run <experiment ...>``
+    Run one or more experiments and print their paper-style tables.
+``study``
+    Run the whole measurement study (all experiments).
+``trace``
+    Generate a synthetic trace and export it, anonymized, as JSON lines —
+    the shape of the data set the paper's authors worked from.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run exp_offload exp_fig6 --scale small
+    python -m repro study --scale standard
+    python -m repro trace --out ./trace --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: Experiments that default to the mobility-focused trace.
+MOBILITY_EXPERIMENTS = {"exp_mobility", "exp_fig12"}
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="small",
+                        choices=("small", "standard", "mobility"),
+                        help="scenario scale (default: small)")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NetSession reproduction (IMC 2013) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run selected experiments")
+    run.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    _add_scale(run)
+
+    study = sub.add_parser("study", help="run the full measurement study")
+    _add_scale(study)
+
+    trace = sub.add_parser("trace", help="generate and export a synthetic trace")
+    trace.add_argument("--out", required=True, help="output directory")
+    trace.add_argument("--salt", default="netsession-release",
+                       help="anonymization salt")
+    _add_scale(trace)
+
+    return parser
+
+
+def _run_experiments(names: list[str], scale: str, seed: int) -> int:
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        effective = "mobility" if name in MOBILITY_EXPERIMENTS else scale
+        started = time.time()
+        output = module.run(effective, seed)
+        print(f"\n# {name}  (scale={effective}, {time.time() - started:.1f}s)")
+        print(output.text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in ALL_EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            doc = (module.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name:24s} {summary}")
+        return 0
+
+    if args.command == "run":
+        return _run_experiments(args.experiments, args.scale, args.seed)
+
+    if args.command == "study":
+        return _run_experiments(list(ALL_EXPERIMENTS), args.scale, args.seed)
+
+    if args.command == "trace":
+        from repro.analysis.export import export_trace
+        from repro.experiments.common import standard_config
+        from repro.workload import run_scenario
+
+        result = run_scenario(standard_config(args.scale, args.seed))
+        counts = export_trace(result.logstore, result.geodb, args.out,
+                              salt=args.salt)
+        for name, count in sorted(counts.items()):
+            print(f"{name}: {count} records")
+        print(f"exported to {args.out}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

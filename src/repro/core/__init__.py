@@ -1,0 +1,35 @@
+"""The paper's system: a full NetSession implementation (paper §3).
+
+Public API:
+
+* :class:`NetSessionSystem` — a runnable deployment (start here);
+* :class:`ContentProvider` / :class:`ContentObject` — the content model;
+* :class:`PeerNode` — the NetSession Interface client;
+* :class:`DownloadSession` — one Download-Manager download;
+* :class:`SystemConfig` / :class:`ClientConfig` / :class:`ControlPlaneConfig`
+  — all the knobs, with paper-faithful defaults.
+"""
+
+from repro.core.accounting import AccountingService, BillingSummary
+from repro.core.config import ClientConfig, ControlPlaneConfig, SystemConfig
+from repro.core.content import PIECE_SIZE, ContentObject, ContentProvider
+from repro.core.edge import AuthorizationError, AuthToken, EdgeNetwork, EdgeServer
+from repro.core.peer import CacheEntry, IdentitySnapshot, PeerNode
+from repro.core.placement import PlacementConfig, PredictivePlacer
+from repro.core.selection import QueryContext, select_peers
+from repro.core.streaming import StreamingSession, start_streaming
+from repro.core.swarm import Chunk, DownloadSession, EdgeConnection, PeerConnection
+from repro.core.system import NetSessionSystem
+
+__all__ = [
+    "NetSessionSystem",
+    "ContentProvider", "ContentObject", "PIECE_SIZE",
+    "PeerNode", "CacheEntry", "IdentitySnapshot",
+    "DownloadSession", "PeerConnection", "EdgeConnection", "Chunk",
+    "StreamingSession", "start_streaming",
+    "PredictivePlacer", "PlacementConfig",
+    "SystemConfig", "ClientConfig", "ControlPlaneConfig",
+    "EdgeNetwork", "EdgeServer", "AuthToken", "AuthorizationError",
+    "AccountingService", "BillingSummary",
+    "QueryContext", "select_peers",
+]

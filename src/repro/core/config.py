@@ -1,0 +1,171 @@
+"""System and client configuration: the knobs the paper describes.
+
+Configuration flows from the content provider and the CDN operator to the
+peers through the trusted edge-server connections (paper §3.5: "These
+policies and options are securely communicated to the peers through the
+trusted edge-server infrastructure").  The values here encode the specific
+behaviours the paper calls out:
+
+* up to 40 peers returned per control-plane query (§3.7);
+* a globally configurable cap on upload connections, *not* tit-for-tat (§3.4);
+* per-object upload-count limits and rate limiting (§3.9);
+* upload back-off when the user's connection is busy (§3.9);
+* cache retention for completed downloads (§5.2: "keeps it in a local cache
+  for a certain amount of time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ClientConfig", "ControlPlaneConfig", "SystemConfig"]
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Per-peer configuration, centrally distributed (paper §3.5, §3.9)."""
+
+    #: Maximum simultaneous upload connections a peer serves (global limit;
+    #: NetSession has no per-peer reciprocity).
+    max_upload_connections: int = 6
+    #: Maximum simultaneous peer download connections per transfer.
+    max_peer_connections: int = 30
+    #: Cap on upload rate as a fraction of the peer's uplink capacity —
+    #: uploads are "intentionally limited using custom protocols".
+    upload_rate_fraction: float = 0.8
+    #: A peer uploads each object at most this many times (§3.9, §6.1: this
+    #: is one of the mechanisms keeping AS traffic balanced).
+    max_uploads_per_object: int = 20
+    #: Seconds a completed object stays in the local cache / registered
+    #: with the control plane.  Default one week.
+    cache_retention: float = 7 * 24 * 3600.0
+    #: When the user's own traffic occupies the link, uploads throttle to
+    #: this fraction of the normal cap (back-off best practice, §3.9).
+    backoff_rate_fraction: float = 0.1
+    #: Probability per hour that a peer's link is busy with other traffic.
+    #: Drives the back-off machinery.
+    link_busy_prob_per_hour: float = 0.05
+    #: Report usage statistics to the CN every this many seconds.
+    stats_report_interval: float = 300.0
+
+    # --- download engine ---------------------------------------------------
+    #: Work-unit sizing: a connection pulls roughly this many seconds of
+    #: transfer (at its estimated rate) per request batch.  Pieces (and
+    #: their hashes) stay at PIECE_SIZE; batching only amortises request
+    #: overhead — small batches keep work flowing to fast connections and
+    #: keep the endgame short.
+    chunk_target_seconds: float = 90.0
+    #: Ceiling on pieces per batch (bounds memory and endgame stalls).
+    chunk_max_pieces: int = 32
+    #: Pieces in a connection's first batch, before its rate is known.
+    chunk_initial_pieces: int = 2
+    #: Probability that a NAT-compatible connection attempt still succeeds
+    #: (transient network failures eat the rest).
+    connect_success_prob: float = 0.92
+    #: Handshake delay range in seconds for a peer connection attempt.
+    handshake_delay: tuple[float, float] = (0.2, 2.0)
+    #: Control-plane query round-trip range in seconds.
+    query_latency: tuple[float, float] = (0.05, 0.3)
+    #: Additional queries issued when too few peer connections succeed
+    #: (§3.7: "additional queries are issued until a sufficient number of
+    #: peer connections succeed").
+    max_extra_queries: int = 3
+
+    # --- edge backstop policy ----------------------------------------------
+    #: Keep at least one infrastructure connection and size it so that total
+    #: throughput reaches this fraction of the client's downlink; when the
+    #: peers alone exceed it, the edge connection idles at a trickle.  The
+    #: paper's Figure 4 shows peer-assisted downloads running somewhat below
+    #: edge-only line rate, i.e. production tolerates a QoS target below
+    #: 1.0 in exchange for offload.
+    edge_target_fraction: float = 0.6
+    #: Trickle rate (fraction of downlink) for the always-on edge connection.
+    edge_trickle_fraction: float = 0.02
+    #: How often the backstop policy re-evaluates the edge cap, seconds.
+    backstop_interval: float = 15.0
+    #: Re-apply the edge cap only when it moves by more than this relative
+    #: amount (hysteresis; avoids needless rate reallocation).
+    backstop_hysteresis: float = 0.15
+    #: Disable to let the edge connection run at full fair share even in
+    #: peer-assisted downloads (ablation: no offload incentive).
+    edge_backstop_enabled: bool = True
+
+    # --- integrity ----------------------------------------------------------
+    #: Per-piece probability that a piece received from an (honest) peer
+    #: fails hash verification (link corruption, disk errors).
+    piece_corruption_prob: float = 1e-4
+    #: Download fails with a system cause after this many corrupted pieces
+    #: ("too many corrupted content blocks", §5.2).
+    max_corrupted_pieces: int = 30
+    #: Drop a peer connection after this many corrupted pieces from it.
+    conn_corruption_ban: int = 2
+
+    def __post_init__(self):
+        if self.max_upload_connections < 0:
+            raise ValueError("max_upload_connections must be >= 0")
+        if not 0 < self.upload_rate_fraction <= 1.0:
+            raise ValueError("upload_rate_fraction must be in (0, 1]")
+        if self.max_uploads_per_object <= 0:
+            raise ValueError("max_uploads_per_object must be positive")
+        if self.cache_retention <= 0:
+            raise ValueError("cache_retention must be positive")
+
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Control-plane behaviour (paper §3.6–3.8)."""
+
+    #: Peers returned per query ("By default, up to 40 peers are returned").
+    peers_per_query: int = 40
+    #: Minimum successful peer connections before the client stops issuing
+    #: additional queries.
+    target_peer_connections: int = 25
+    #: Probability of occasionally selecting from a less-specific locality
+    #: set, "proportional to the specificity of the set" (§3.7).
+    diversity_probability: float = 0.10
+    #: Reconnection rate limit (reconnects/second accepted per CN) used
+    #: during large-scale failures (§3.8).
+    reconnect_rate_limit: float = 500.0
+    #: How long a DN keeps a peer's registration without a refresh before
+    #: expiring it (soft state).
+    registration_ttl: float = 6 * 3600.0
+    #: The CN/DN system is interconnected across regions and can "in
+    #: principle search for peers from any region" (§3.7).  When the local
+    #: DNs return fewer candidates than this, the CN widens the search to
+    #: remote regions; 0 disables remote search entirely.
+    remote_search_threshold: int = 5
+
+    def __post_init__(self):
+        if self.peers_per_query <= 0:
+            raise ValueError("peers_per_query must be positive")
+        if not 0.0 <= self.diversity_probability <= 1.0:
+            raise ValueError("diversity_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level assembly of all configuration."""
+
+    client: ClientConfig = field(default_factory=ClientConfig)
+    control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
+    #: Control-plane and edge deployment density, per network region.  The
+    #: real deployment ran 197 control-plane servers over <20 network
+    #: regions; one CN/DN pair per region is the scale-appropriate default.
+    cns_per_region: int = 1
+    dns_per_region: int = 1
+    edge_servers_per_region: int = 2
+    #: Edge egress per server in Mbit/s; None = overprovisioned (never the
+    #: bottleneck), matching the paper's production observations.
+    edge_egress_mbps: float | None = None
+    #: If False, peers never query the control plane — the system degrades
+    #: to a pure infrastructure CDN (used for the edge-only baseline and the
+    #: total-control-plane-failure scenario of §3.8).
+    p2p_globally_enabled: bool = True
+
+    def with_client(self, **changes) -> "SystemConfig":
+        """Return a copy with client-config fields replaced."""
+        return replace(self, client=replace(self.client, **changes))
+
+    def with_control_plane(self, **changes) -> "SystemConfig":
+        """Return a copy with control-plane fields replaced."""
+        return replace(self, control_plane=replace(self.control_plane, **changes))

@@ -1,0 +1,12 @@
+"""NetSession control plane: connection nodes, database nodes, STUN, monitoring."""
+
+from repro.core.control.connection_node import ConnectionNode
+from repro.core.control.database_node import DatabaseNode, PeerRegistration
+from repro.core.control.monitoring import MonitoringService
+from repro.core.control.plane import ControlPlane
+from repro.core.control.stun import StunService
+
+__all__ = [
+    "ConnectionNode", "DatabaseNode", "PeerRegistration",
+    "MonitoringService", "ControlPlane", "StunService",
+]

@@ -1,0 +1,51 @@
+"""Monitoring nodes: operational telemetry (paper §3.6, §3.8).
+
+"Peers upload information about their operation and about problems, such as
+application crash reports, to these nodes.  Processing their logs helps to
+monitor the network in real-time, to identify problems, and to troubleshoot
+specific user issues."  §3.8 adds that download/upload performance is
+constantly monitored with automated alerts for large-scale problems.
+
+We keep per-kind counters, a bounded recent-report ring, and a trivial
+alerting rule (report rate over a sliding window) — enough to exercise the
+reporting code path from the peers and to test the §3.8 claims.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+from repro.core.messages import CrashReport
+
+__all__ = ["MonitoringService"]
+
+
+class MonitoringService:
+    """Collects crash/error reports and raises rate alerts."""
+
+    def __init__(self, *, window: float = 3600.0, alert_threshold: int = 1000,
+                 recent_capacity: int = 1000):
+        if window <= 0:
+            raise ValueError("monitoring window must be positive")
+        self.window = window
+        self.alert_threshold = alert_threshold
+        self.counts: Counter[str] = Counter()
+        self.recent: deque[CrashReport] = deque(maxlen=recent_capacity)
+        self._window_times: deque[float] = deque()
+        self.alerts: list[tuple[float, str]] = []
+
+    def report(self, report: CrashReport) -> None:
+        """Ingest one report; may trigger an alert."""
+        self.counts[report.kind] += 1
+        self.recent.append(report)
+        self._window_times.append(report.timestamp)
+        cutoff = report.timestamp - self.window
+        while self._window_times and self._window_times[0] < cutoff:
+            self._window_times.popleft()
+        if len(self._window_times) >= self.alert_threshold:
+            self.alerts.append((report.timestamp, f"report rate >= {self.alert_threshold}/window"))
+            self._window_times.clear()
+
+    def total_reports(self) -> int:
+        """All reports ever ingested."""
+        return sum(self.counts.values())

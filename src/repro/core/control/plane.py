@@ -1,0 +1,206 @@
+"""The NetSession control plane: CN/DN assembly, mapping, and robustness.
+
+Assembles the per-region connection nodes and database nodes, maps each
+peer to a CN in its network region (standing in for Akamai's DNS-based
+mapping, §3.7), and implements the §3.8 robustness story:
+
+* **CN failure** — connected peers simply reconnect to another CN; during a
+  large-scale failure reconnections are rate-limited for smooth recovery;
+* **DN failure** — soft state is lost; the region's CNs broadcast RE-ADD and
+  peers re-list their stored files, repopulating the directory;
+* **total control-plane failure** — peers that cannot reach any CN fall back
+  to edge-only downloads (handled in the peer; tested in the failure suite);
+* **soft-state expiry** — registrations not refreshed within the TTL are
+  dropped on a periodic sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.analysis.logstore import LogStore
+from repro.core.config import SystemConfig
+from repro.core.control.connection_node import ConnectionNode
+from repro.core.control.database_node import DatabaseNode
+from repro.core.control.monitoring import MonitoringService
+from repro.core.control.stun import StunService
+from repro.core.edge import EdgeNetwork
+from repro.net.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.accounting import AccountingService
+    from repro.core.peer import PeerNode
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """All control-plane servers plus the peer↔CN mapping logic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        edge: EdgeNetwork,
+        logstore: LogStore,
+        accounting: "AccountingService",
+        network_regions: list[str],
+        rng: random.Random,
+        *,
+        locality_aware: bool = True,
+    ):
+        if not network_regions:
+            raise ValueError("control plane needs at least one network region")
+        self.sim = sim
+        self.config = config
+        self.edge = edge
+        self.logstore = logstore
+        self.accounting = accounting
+        self.rng = rng
+        self.stun = StunService()
+        self.monitoring = MonitoringService()
+
+        self.dns_by_region: dict[str, list[DatabaseNode]] = {}
+        self.cns_by_region: dict[str, list[ConnectionNode]] = {}
+        self.all_cns: list[ConnectionNode] = []
+        self.all_dns: list[DatabaseNode] = []
+        for region in network_regions:
+            dns = [
+                DatabaseNode(
+                    f"dn-{region}-{i}", region,
+                    config.control_plane.registration_ttl,
+                )
+                for i in range(config.dns_per_region)
+            ]
+            self.dns_by_region[region] = dns
+            self.all_dns.extend(dns)
+            cns = [
+                ConnectionNode(
+                    f"cn-{region}-{i}", region, dns, edge, self.stun,
+                    logstore, accounting, config.control_plane, rng,
+                    locality_aware=locality_aware,
+                )
+                for i in range(config.cns_per_region)
+            ]
+            self.cns_by_region[region] = cns
+            self.all_cns.extend(cns)
+
+        for cn in self.all_cns:
+            cn.remote_lookup = self._remote_peers_for
+
+        #: Tokens available for rate-limited reconnection (§3.8).
+        self._reconnect_tokens = config.control_plane.reconnect_rate_limit
+        self._last_token_refill = sim.now
+
+        # Periodic soft-state expiry sweep (hourly).
+        sim.every(3600.0, self._expire_sweep)
+
+    # --------------------------------------------------------------- mapping
+
+    def cn_for(self, peer: "PeerNode") -> ConnectionNode | None:
+        """Map a peer to an alive CN, preferring its own network region.
+
+        Akamai's DNS maps each peer to the closest available CN (§3.7); if
+        the local region's CNs are all down, any alive CN elsewhere is used;
+        if none is alive anywhere, returns None (edge-only fallback, §3.8).
+        """
+        local = [cn for cn in self.cns_by_region.get(peer.network_region, ())
+                 if cn.alive]
+        if local:
+            return self.rng.choice(local)
+        anywhere = [cn for cn in self.all_cns if cn.alive]
+        if anywhere:
+            return self.rng.choice(anywhere)
+        return None
+
+    def login(self, peer: "PeerNode") -> ConnectionNode | None:
+        """Open a peer's persistent connection; returns its CN (or None)."""
+        cn = self.cn_for(peer)
+        if cn is None:
+            return None
+        cn.login(peer, self.sim.now)
+        return cn
+
+    # -------------------------------------------------------------- failures
+
+    def fail_cn(self, cn: ConnectionNode) -> int:
+        """Crash a CN; orphaned peers reconnect elsewhere, rate-limited.
+
+        Returns the number of orphaned peers scheduled for reconnection.
+        """
+        orphans = cn.fail()
+        self._refill_tokens()
+        delay = 0.0
+        rate = self.config.control_plane.reconnect_rate_limit
+        for i, peer in enumerate(orphans):
+            if self._reconnect_tokens >= 1:
+                self._reconnect_tokens -= 1
+                jitter = self.rng.uniform(0.0, 2.0)
+            else:
+                # Past the burst budget: spread reconnects at the limit rate.
+                delay += 1.0 / rate
+                jitter = delay + self.rng.uniform(0.0, 2.0)
+            self.sim.schedule(jitter, peer.reconnect)
+        return len(orphans)
+
+    def fail_dn(self, dn: DatabaseNode, *, recover: bool = True) -> int:
+        """Crash a DN, losing its soft state; optionally recover via RE-ADD.
+
+        Returns the number of peers that answered the RE-ADD broadcast.
+        """
+        dn.fail()
+        if not recover:
+            return 0
+        dn.recover()
+        answered = 0
+        for cn in self.cns_by_region.get(dn.network_region, ()):
+            if cn.alive:
+                answered += cn.broadcast_re_add(self.sim.now)
+        return answered
+
+    def rolling_restart(self) -> int:
+        """Restart every CN and DN in a short timeframe (§3.8 software push).
+
+        Models the production practice: nodes go down one at a time, peers
+        reconnect, DNs are repopulated by RE-ADD.  Returns total reconnects.
+        """
+        reconnects = 0
+        for dn in self.all_dns:
+            self.fail_dn(dn, recover=True)
+        for cn in self.all_cns:
+            reconnects += self.fail_cn(cn)
+            cn.recover()
+        return reconnects
+
+    def _refill_tokens(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_token_refill
+        rate = self.config.control_plane.reconnect_rate_limit
+        self._reconnect_tokens = min(rate, self._reconnect_tokens + elapsed * rate)
+        self._last_token_refill = now
+
+    def _remote_peers_for(self, cid: str, exclude_region: str) -> list:
+        """Cross-region directory search (§3.7's interconnected CN/DN)."""
+        found = []
+        for region, dns in self.dns_by_region.items():
+            if region == exclude_region:
+                continue
+            for dn in dns:
+                if dn.alive:
+                    found.extend(dn.peers_for(cid))
+        return found
+
+    def _expire_sweep(self) -> None:
+        for dn in self.all_dns:
+            dn.expire(self.sim.now)
+
+    # --------------------------------------------------------------- queries
+
+    def connected_peer_count(self) -> int:
+        """Peers currently holding a control connection, fleet-wide."""
+        return sum(len(cn.connected) for cn in self.all_cns)
+
+    def total_registrations(self) -> int:
+        """Directory entries across all DNs."""
+        return sum(dn.total_registrations() for dn in self.all_dns)

@@ -1,0 +1,176 @@
+"""Edge servers: the infrastructure half of the hybrid CDN.
+
+Edge servers (paper §3.5) do four things for NetSession beyond serving
+bytes over HTTP(S):
+
+* **content integrity** — they generate and publish the secure content IDs
+  and per-piece hashes that let peers verify pieces from any source;
+* **authorization** — a peer must authenticate to an edge server to obtain
+  an encrypted token before it may search for (or receive from) peers;
+* **policy distribution** — per-provider download/upload policies reach
+  peers through this trusted channel;
+* **trusted accounting ground truth** — edge servers log the bytes they
+  serve, which the accounting layer uses to detect misreporting peers
+  (§3.5, §6.2).
+
+The infrastructure is assumed well provisioned (the paper's edge-only
+downloads run at client line rate), so egress capacity is unconstrained by
+default; a finite capacity can be configured for backstop-stress ablations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.core.content import ContentObject
+from repro.net.flows import Resource
+from repro.net.links import mbps
+
+__all__ = ["EdgeServer", "EdgeNetwork", "AuthToken", "AuthorizationError"]
+
+
+class AuthorizationError(Exception):
+    """Raised when a peer requests content its provider's policy forbids."""
+
+
+@dataclass(frozen=True)
+class AuthToken:
+    """Encrypted token allowing a peer to search for peers holding a cid.
+
+    In the real system this is an opaque encrypted blob; here it is a keyed
+    digest the control plane can verify, which is behaviourally equivalent:
+    a peer cannot forge a token for content it was not authorized to fetch.
+    """
+
+    guid: str
+    cid: str
+    digest: str
+
+    @staticmethod
+    def issue(guid: str, cid: str, secret: str) -> "AuthToken":
+        """Create a token for (guid, cid) under the CDN's signing secret."""
+        digest = hashlib.sha256(f"{secret}|{guid}|{cid}".encode()).hexdigest()[:32]
+        return AuthToken(guid=guid, cid=cid, digest=digest)
+
+    def valid_for(self, guid: str, cid: str, secret: str) -> bool:
+        """Verify the token binds to this peer and content under ``secret``."""
+        if guid != self.guid or cid != self.cid:
+            return False
+        expect = hashlib.sha256(f"{secret}|{guid}|{cid}".encode()).hexdigest()[:32]
+        return expect == self.digest
+
+
+class EdgeServer:
+    """One edge server: an egress capacity plus byte-serving logs."""
+
+    def __init__(self, name: str, network_region: str, egress_mbps: float | None):
+        self.name = name
+        self.network_region = network_region
+        capacity = None if egress_mbps is None else mbps(egress_mbps)
+        # Resource(None) models an overprovisioned server that never
+        # bottlenecks an individual client download.
+        self.egress = Resource(f"edge:{name}", capacity) if capacity else \
+            Resource(f"edge:{name}", None)
+        #: Trusted per-(guid, cid) byte counts — accounting ground truth.
+        self.served_bytes: dict[tuple[str, str], int] = {}
+
+    def record_served(self, guid: str, cid: str, nbytes: int) -> None:
+        """Log bytes served to a peer (called as edge flows complete)."""
+        if nbytes < 0:
+            raise ValueError(f"cannot serve negative bytes: {nbytes}")
+        key = (guid, cid)
+        self.served_bytes[key] = self.served_bytes.get(key, 0) + int(nbytes)
+
+    def total_served(self) -> int:
+        """All bytes this server has delivered."""
+        return sum(self.served_bytes.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EdgeServer {self.name} region={self.network_region}>"
+
+
+class EdgeNetwork:
+    """The fleet of edge servers plus the catalog of published content.
+
+    Maps each peer to a server in its network region (Akamai's DNS-based
+    mapping, §3.7) and answers authorization and integrity queries.
+    """
+
+    def __init__(
+        self,
+        network_regions: list[str],
+        rng: random.Random,
+        *,
+        servers_per_region: int = 2,
+        egress_mbps: float | None = None,
+        signing_secret: str = "netsession-secret",
+    ):
+        if servers_per_region <= 0:
+            raise ValueError("need at least one edge server per region")
+        self._rng = rng
+        self._secret = signing_secret
+        self.servers: list[EdgeServer] = []
+        self._by_region: dict[str, list[EdgeServer]] = {}
+        self._rr_index: dict[str, int] = {}
+        for region in network_regions:
+            group = [
+                EdgeServer(f"{region}-{i}", region, egress_mbps)
+                for i in range(servers_per_region)
+            ]
+            self._by_region[region] = group
+            self._rr_index[region] = 0
+            self.servers.extend(group)
+        self.catalog: dict[str, ContentObject] = {}
+
+    # --------------------------------------------------------------- content
+
+    def publish(self, obj: ContentObject) -> None:
+        """Make an object available for download (provider onboarding)."""
+        self.catalog[obj.cid] = obj
+
+    def unpublish(self, cid: str) -> None:
+        """Withdraw an object from distribution."""
+        self.catalog.pop(cid, None)
+
+    def lookup(self, cid: str) -> ContentObject:
+        """Fetch the catalog entry; KeyError if not published."""
+        return self.catalog[cid]
+
+    # ----------------------------------------------------------- interaction
+
+    def server_for(self, network_region: str) -> EdgeServer:
+        """Pick the edge server a peer in ``network_region`` downloads from.
+
+        Round-robin within the region's group; falls back to a random server
+        anywhere if the region has no local group (sparse-infrastructure
+        areas — relevant to the §5.3 coverage analysis).
+        """
+        group = self._by_region.get(network_region)
+        if not group:
+            return self._rng.choice(self.servers)
+        index = self._rr_index[network_region]
+        self._rr_index[network_region] = (index + 1) % len(group)
+        return group[index]
+
+    def authorize(self, guid: str, obj: ContentObject) -> AuthToken:
+        """Authenticate a peer for an object and issue a search token (§3.5).
+
+        Raises :class:`AuthorizationError` if the object is not published.
+        """
+        if obj.cid not in self.catalog:
+            raise AuthorizationError(f"object {obj.cid} is not published")
+        return AuthToken.issue(guid, obj.cid, self._secret)
+
+    def verify_token(self, token: AuthToken, guid: str, cid: str) -> bool:
+        """Control-plane-side token check before answering a peer query."""
+        return token.valid_for(guid, cid, self._secret)
+
+    def piece_hashes(self, obj: ContentObject) -> list[str]:
+        """The trusted per-piece hashes for an object (§3.5)."""
+        return [obj.expected_hash(i) for i in range(obj.num_pieces)]
+
+    def trusted_bytes_served(self, guid: str, cid: str) -> int:
+        """Total bytes the infrastructure served to (guid, cid), fleet-wide."""
+        return sum(s.served_bytes.get((guid, cid), 0) for s in self.servers)

@@ -1,0 +1,130 @@
+"""Control-plane protocol messages.
+
+Peers talk to the control plane over a persistent TCP connection (paper
+§3.4); the message vocabulary below mirrors the interactions the paper
+describes: login (with secondary-GUID history), content queries, content
+registration, RE-ADD recovery after a DN failure, usage reports for
+accounting, and connect instructions pushed to both endpoints of a
+prospective peer-to-peer transfer.
+
+In the simulation these are plain dataclasses passed through method calls —
+the value of modelling them explicitly is that the log records, the
+accounting checks, and the failure-recovery logic all operate on the same
+payloads a wire protocol would carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Login", "PeerQuery", "PeerCandidate", "PeerQueryResponse",
+    "RegisterContent", "UnregisterContent", "ReAddRequest",
+    "UsageReport", "ConnectInstruction", "CrashReport",
+]
+
+
+@dataclass(frozen=True)
+class Login:
+    """Sent when a peer opens its persistent control connection."""
+
+    guid: str
+    ip: str
+    software_version: str
+    uploads_enabled: bool
+    #: Last SECONDARY_HISTORY_LENGTH secondary GUIDs, newest first (§6.2).
+    secondary_guids: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PeerQuery:
+    """Ask the control plane for peers holding an object."""
+
+    guid: str
+    cid: str
+    #: Encrypted authorization token obtained from an edge server (§3.5).
+    auth_token: str
+    #: Peers already connected (excluded from the response).
+    exclude: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class PeerCandidate:
+    """One peer in a query response."""
+
+    guid: str
+    ip: str
+    asn: int
+    nat_type: str
+
+
+@dataclass(frozen=True)
+class PeerQueryResponse:
+    """The control plane's answer to a :class:`PeerQuery`."""
+
+    cid: str
+    candidates: tuple[PeerCandidate, ...]
+
+
+@dataclass(frozen=True)
+class RegisterContent:
+    """Peer announces it holds a complete, verified copy of an object."""
+
+    guid: str
+    cid: str
+
+
+@dataclass(frozen=True)
+class UnregisterContent:
+    """Peer announces it no longer serves an object (evicted / uploads off)."""
+
+    guid: str
+    cid: str
+
+
+@dataclass(frozen=True)
+class ReAddRequest:
+    """CN asks its peers to re-list their stored files after a DN loss (§3.8)."""
+
+    reason: str = "dn-failure"
+
+
+@dataclass(frozen=True)
+class UsageReport:
+    """Per-download statistics a peer uploads for billing/monitoring (§3.4).
+
+    ``claimed_*`` fields are what the peer says; the accounting layer
+    cross-checks them against trusted edge-server records to filter
+    accounting attacks (§3.5, [Aditya et al., NSDI 2012]).
+    """
+
+    guid: str
+    cid: str
+    cp_code: int
+    started_at: float
+    ended_at: float
+    claimed_edge_bytes: int
+    claimed_peer_bytes: int
+    #: Bytes received from each uploading peer, keyed by uploader GUID.
+    per_uploader_bytes: dict[str, int] = field(default_factory=dict)
+    outcome: str = "completed"  # completed | failed | aborted
+    failure_class: str | None = None  # "system" | "other" | None
+
+
+@dataclass(frozen=True)
+class ConnectInstruction:
+    """Control plane tells a peer to open a connection to another peer (§3.6)."""
+
+    from_guid: str
+    to_guid: str
+    cid: str
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """Operational report uploaded to a monitoring node (§3.6)."""
+
+    guid: str
+    kind: str          # "crash" | "error" | "warning"
+    detail: str
+    timestamp: float

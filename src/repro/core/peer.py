@@ -1,0 +1,402 @@
+"""The NetSession Interface: the client software on each user machine.
+
+Paper §3.4: a background application that runs whenever the user is logged
+in, keeps a persistent control connection open, downloads over HTTP(S) from
+edge servers and a BitTorrent-like swarming protocol from peers, and —
+deliberately — has *no* incentive mechanism: users can disable uploads with
+no effect on their own download performance.
+
+§3.9's best practices are implemented here: uploads are rate-limited, each
+object is uploaded at most a bounded number of times, uploads back off when
+the user's connection is busy, content is only shared if the local user
+downloaded it (no proactive caching), and cached objects expire after a
+retention period.
+
+A peer's identity is its install-time GUID; every software start draws a
+fresh *secondary* GUID (the §6.2 cloning instrumentation).  Disk cloning and
+re-imaging are modelled by snapshotting and restoring the identity state —
+see :meth:`PeerNode.snapshot_identity` / :meth:`PeerNode.restore_identity`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.ids import SECONDARY_HISTORY_LENGTH, make_guid, make_secondary_guid
+from repro.core.messages import CrashReport
+from repro.net.links import AccessLink
+from repro.net.nat import NATProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.content import ContentObject
+    from repro.core.control.connection_node import ConnectionNode
+    from repro.core.swarm import DownloadSession
+    from repro.core.system import NetSessionSystem
+    from repro.net.geo import City, Country
+    from repro.net.topology import AutonomousSystem
+
+__all__ = ["PeerNode", "CacheEntry", "IdentitySnapshot"]
+
+
+@dataclass
+class CacheEntry:
+    """A complete object held in the peer's local cache."""
+
+    cid: str
+    completed_at: float
+    registered: bool = False
+
+
+@dataclass(frozen=True)
+class IdentitySnapshot:
+    """Cloneable installation state: what a disk image captures (§6.2)."""
+
+    guid: str
+    secondary_history: tuple[str, ...]
+
+
+class PeerNode:
+    """One NetSession installation on one user machine."""
+
+    def __init__(
+        self,
+        system: "NetSessionSystem",
+        country: "Country",
+        city: "City",
+        asys: "AutonomousSystem",
+        link: AccessLink,
+        nat_profile: NATProfile,
+        *,
+        uploads_enabled: bool,
+        installed_from_cp: int = 0,
+        software_version: str | None = None,
+        guid: str | None = None,
+    ):
+        self.system = system
+        self.rng: random.Random = random.Random(system.rng.getrandbits(64))
+        self.guid = guid if guid is not None else make_guid(self.rng)
+        self.secondary_history: deque[str] = deque(maxlen=SECONDARY_HISTORY_LENGTH)
+        # The version string identifies the bundle, as production installers
+        # do — the Table 4 analysis attributes peers to providers with it.
+        if software_version is None:
+            software_version = f"ns-3.6-cp{installed_from_cp}"
+        self.software_version = software_version
+        self.installed_from_cp = installed_from_cp
+
+        self.country = country
+        self.city = city
+        self.asys = asys
+        self.link = link
+        self.nat_profile = nat_profile
+        self.uploads_enabled = uploads_enabled
+        #: Corporate LAN membership (§5.3); None for residential peers.
+        self.lan = None
+
+        self.online = False
+        self.ip: str = ""
+        self.cn: Optional["ConnectionNode"] = None
+        self._refresh_event = None
+
+        #: Per-piece corruption probability when this peer uploads; the
+        #: population layer raises it for broken/malicious machines.
+        self.piece_corruption_prob = system.config.client.piece_corruption_prob
+        #: If True, this peer inflates its usage reports (accounting attack,
+        #: §6.2); the accounting service should filter its reports.
+        self.accounting_attacker = False
+
+        self.cache: dict[str, CacheEntry] = {}
+        self.uploads_done: dict[str, int] = {}
+        self.active_upload_count = 0
+        self.upload_flows: set = set()  # live Flow objects serving others
+        self.link_busy = False
+
+        self.sessions: dict[str, "DownloadSession"] = {}
+        self._paused_for_offline: list[str] = []
+
+        # Counters for tests and the §6.2 analyses.
+        self.boot_count = 0
+        self.setting_changes = 0
+
+    # ------------------------------------------------------ locality shortcuts
+
+    @property
+    def asn(self) -> int:
+        """The AS number this peer currently attaches from."""
+        return self.asys.asn
+
+    @property
+    def country_code(self) -> str:
+        """ISO country code of the current location."""
+        return self.country.code
+
+    @property
+    def geo_region(self) -> str:
+        """Geographic region (Table 2 regions) of the current location."""
+        return self.country.region
+
+    @property
+    def network_region(self) -> str:
+        """Control-plane network region the peer maps to."""
+        return self.asys.network_region
+
+    @property
+    def lan_id(self) -> str:
+        """The peer's LAN site id, or "" for residential peers."""
+        return self.lan.site_id if self.lan is not None else ""
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def boot(self) -> None:
+        """A software start: draw a fresh secondary GUID (§6.2) and go online.
+
+        Booting while online models a machine restart: the old session ends
+        first (downloads pause and resume across the restart, §3.3).
+        """
+        if self.online:
+            self.go_offline()
+        self.boot_count += 1
+        self.secondary_history.appendleft(make_secondary_guid(self.rng))
+        self.go_online()
+
+    def go_online(self) -> None:
+        """Connect: obtain an IP, open the control connection, resume work.
+
+        If no CN is reachable (total control-plane failure, §3.8) the peer
+        still comes online — downloads fall back to edge-only.
+        """
+        if self.online:
+            return
+        self.online = True
+        self.ip = self.system.allocator.assign(self.asys, self.country, self.city)
+        self.cn = self.system.control.login(self)
+        # Refresh directory registrations well inside the DN soft-state TTL
+        # (registrations expire unless refreshed — §3.8 soft state).
+        ttl = self.system.config.control_plane.registration_ttl
+        self._refresh_event = self.system.sim.every(
+            ttl / 3.0, self._refresh_registrations
+        )
+        resumable = self._paused_for_offline
+        self._paused_for_offline = []
+        for cid in resumable:
+            session = self.sessions.get(cid)
+            if session is not None and session.state == "paused":
+                session.resume()
+
+    def _refresh_registrations(self) -> None:
+        """Periodic soft-state refresh of this peer's directory entries."""
+        if not self.online or self.cn is None or not self.cn.alive:
+            return
+        now = self.system.sim.now
+        for cid in self.shareable_cids():
+            self.cn.register_content(self, cid, now)
+
+    def go_offline(self) -> None:
+        """Disconnect: pause downloads, kill uploads, close the control conn."""
+        if not self.online:
+            return
+        if self._refresh_event is not None:
+            self._refresh_event.cancel()
+            self._refresh_event = None
+        for session in list(self.sessions.values()):
+            if session.state == "active":
+                session.pause()
+                self._paused_for_offline.append(session.obj.cid)
+        # Uploads die with the connection: notify each downloader's session
+        # so in-flight pieces are credited/requeued and replacements sought.
+        for flow in list(self.upload_flows):
+            conn = flow.meta
+            if conn is not None and hasattr(conn, "handle_uploader_offline"):
+                conn.handle_uploader_offline()
+            else:
+                self.system.flows.abort_flow(flow)
+        self.upload_flows.clear()
+        self.active_upload_count = 0
+        if self.cn is not None:
+            self.cn.logout(self)
+            self.cn = None
+        self.online = False
+        self.ip = ""
+
+    def reconnect(self) -> None:
+        """Re-open the control connection after a CN failure (§3.8)."""
+        if not self.online:
+            return
+        self.cn = self.system.control.login(self)
+
+    # ----------------------------------------------------------------- downloads
+
+    def start_download(self, obj: "ContentObject") -> "DownloadSession":
+        """Begin downloading an object via the Download Manager (§3.3)."""
+        from repro.core.swarm import DownloadSession
+
+        if not self.online:
+            raise RuntimeError(f"peer {self.guid[:8]} is offline")
+        if obj.cid in self.sessions:
+            return self.sessions[obj.cid]
+        session = DownloadSession(self.system, self, obj)
+        self.sessions[obj.cid] = session
+        session.start()
+        return session
+
+    def session_finished(self, session: "DownloadSession") -> None:
+        """Callback from a session reaching a terminal state."""
+        self.sessions.pop(session.obj.cid, None)
+
+    def add_to_cache(self, cid: str) -> None:
+        """Cache a completed object; register it and schedule expiry (§3.9)."""
+        now = self.system.sim.now
+        self.cache[cid] = CacheEntry(cid=cid, completed_at=now)
+        retention = self.system.config.client.cache_retention
+        self.system.sim.schedule(retention, lambda: self._evict(cid))
+        if self.uploads_enabled and self.cn is not None and self.cn.alive:
+            self.cn.register_content(self, cid, now)
+            self.cache[cid].registered = True
+
+    def _evict(self, cid: str) -> None:
+        entry = self.cache.pop(cid, None)
+        if entry is not None and entry.registered and self.cn is not None:
+            self.cn.unregister_content(self, cid)
+
+    def has_complete(self, cid: str) -> bool:
+        """Does the local cache hold a verified complete copy?"""
+        return cid in self.cache
+
+    # ------------------------------------------------------------------ uploads
+
+    def upload_budget_left(self, cid: str) -> int:
+        """Remaining upload sessions allowed for an object (§3.9 cap)."""
+        cap = self.system.config.client.max_uploads_per_object
+        return max(0, cap - self.uploads_done.get(cid, 0))
+
+    def can_upload(self, cid: str) -> bool:
+        """Would this peer currently grant an upload of ``cid``?"""
+        return (
+            self.online
+            and self.uploads_enabled
+            and self.has_complete(cid)
+            and self.active_upload_count < self.system.config.client.max_upload_connections
+            and self.upload_budget_left(cid) > 0
+        )
+
+    def try_grant_upload(self, cid: str) -> bool:
+        """Reserve an upload slot for ``cid``; True if granted.
+
+        Counts against both the global connection limit and the per-object
+        upload budget.  When the budget hits zero the peer withdraws the
+        object from the directory.
+        """
+        if not self.can_upload(cid):
+            return False
+        self.active_upload_count += 1
+        self.uploads_done[cid] = self.uploads_done.get(cid, 0) + 1
+        if self.upload_budget_left(cid) == 0 and self.cn is not None:
+            self.cn.unregister_content(self, cid)
+        return True
+
+    def release_upload(self) -> None:
+        """Free an upload slot (connection closed)."""
+        if self.active_upload_count > 0:
+            self.active_upload_count -= 1
+
+    def upload_rate_cap(self) -> float:
+        """Current per-flow upload rate cap in bytes/s (§3.9 throttling)."""
+        cfg = self.system.config.client
+        fraction = cfg.backoff_rate_fraction if self.link_busy else cfg.upload_rate_fraction
+        return max(1.0, fraction * self.link.up_bps)
+
+    def set_link_busy(self, busy: bool) -> None:
+        """User traffic appeared/cleared on the link: re-throttle uploads."""
+        if busy == self.link_busy:
+            return
+        self.link_busy = busy
+        cap = self.upload_rate_cap()
+        for flow in self.upload_flows:
+            if flow.active:
+                self.system.flows.set_cap(flow, cap)
+
+    # ---------------------------------------------------------------- settings
+
+    def set_uploads_enabled(self, enabled: bool) -> None:
+        """The user toggles peer uploads in the preferences UI (§3.4).
+
+        Disabling withdraws all directory registrations; in-flight uploads
+        are allowed to finish (NetSession does not yank bytes mid-transfer).
+        Re-enabling re-registers the cache.
+        """
+        if enabled == self.uploads_enabled:
+            return
+        self.uploads_enabled = enabled
+        self.setting_changes += 1
+        if self.cn is None or not self.cn.alive:
+            return
+        now = self.system.sim.now
+        if enabled:
+            for cid in self.shareable_cids():
+                self.cn.register_content(self, cid, now)
+                if cid in self.cache:
+                    self.cache[cid].registered = True
+        else:
+            for entry in self.cache.values():
+                if entry.registered:
+                    self.cn.unregister_content(self, entry.cid)
+                    entry.registered = False
+
+    # ------------------------------------------------------------ control plane
+
+    def shareable_cids(self) -> list[str]:
+        """Objects this peer would serve right now (directory contents)."""
+        if not self.uploads_enabled:
+            return []
+        return [cid for cid in self.cache if self.upload_budget_left(cid) > 0]
+
+    def handle_re_add(self) -> list[str]:
+        """Answer a RE-ADD broadcast: re-list stored files (§3.8)."""
+        return self.shareable_cids()
+
+    def report_crash(self, detail: str = "segfault") -> None:
+        """Upload a crash report to the monitoring nodes (§3.6)."""
+        self.system.control.monitoring.report(CrashReport(
+            guid=self.guid, kind="crash", detail=detail,
+            timestamp=self.system.sim.now,
+        ))
+
+    # ----------------------------------------------------------------- mobility
+
+    def move_to(self, country: "Country", city: "City", asys: "AutonomousSystem") -> None:
+        """Relocate the machine (laptop commute, travel, VPN exit change).
+
+        Implemented as the real event sequence: drop connectivity at the old
+        location, change attachment, reconnect — which produces exactly the
+        login-record pattern the §6.2 mobility analysis keys on.
+        """
+        was_online = self.online
+        if was_online:
+            self.go_offline()
+        self.country = country
+        self.city = city
+        self.asys = asys
+        if was_online:
+            self.go_online()
+
+    # ----------------------------------------------------------------- cloning
+
+    def snapshot_identity(self) -> IdentitySnapshot:
+        """Capture what a disk image would capture (primary GUID + history)."""
+        return IdentitySnapshot(
+            guid=self.guid,
+            secondary_history=tuple(self.secondary_history),
+        )
+
+    def restore_identity(self, snapshot: IdentitySnapshot) -> None:
+        """Roll this installation back to an imaged state (re-imaging, §6.2)."""
+        self.guid = snapshot.guid
+        self.secondary_history = deque(
+            snapshot.secondary_history, maxlen=SECONDARY_HISTORY_LENGTH
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "online" if self.online else "offline"
+        return f"<PeerNode {self.guid[:8]} {self.country_code}/AS{self.asn} {state}>"

@@ -1,0 +1,134 @@
+"""Predictive content placement — the feature NetSession deliberately lacks.
+
+Paper §5.2: "NetSession does not use predictive caching — i.e., a peer only
+downloads a file when it is requested by the local user."  That design keeps
+peers unobtrusive (§3.9) but means every region cold-starts each popular
+object through the infrastructure.
+
+This extension implements the alternative so it can be measured: a
+control-plane policy that watches demand, finds regions where a hot object
+has too few registered copies, and asks idle, willing peers there to
+prefetch it.  Prefetch downloads go through the normal Download Manager and
+are flagged in the logs (``DownloadRecord.prefetch``), so the analyses can
+separate user demand from placement traffic — exactly what the operator
+would need to bill it differently.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.content import ContentObject
+    from repro.core.system import NetSessionSystem
+
+__all__ = ["PlacementConfig", "PredictivePlacer"]
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Knobs for the predictive-placement policy."""
+
+    #: How often the policy re-evaluates demand, in seconds.
+    interval: float = 3600.0
+    #: Desired online registered copies per (hot object, network region).
+    copies_target: int = 8
+    #: Demand threshold: an object is "hot" once it has this many downloads
+    #: in the trace so far.
+    hot_threshold: int = 3
+    #: At most this many prefetches started per evaluation, fleet-wide
+    #: (placement must not swamp user traffic).
+    max_prefetches_per_tick: int = 10
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.copies_target <= 0:
+            raise ValueError("copies_target must be positive")
+
+
+class PredictivePlacer:
+    """The control-plane-side placement loop."""
+
+    def __init__(
+        self,
+        system: "NetSessionSystem",
+        objects: list["ContentObject"],
+        config: PlacementConfig | None = None,
+    ):
+        self.system = system
+        self.config = config if config is not None else PlacementConfig()
+        self.objects = [o for o in objects if o.p2p_enabled]
+        self.prefetches_started = 0
+        self._event = None
+
+    def start(self) -> None:
+        """Arm the periodic evaluation."""
+        if self._event is None or not self._event.pending:
+            self._event = self.system.sim.every(self.config.interval, self.tick)
+
+    def stop(self) -> None:
+        """Disarm the policy."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    # --------------------------------------------------------------- policy
+
+    def tick(self) -> int:
+        """One evaluation: find deficits, start prefetches.  Returns count."""
+        cfg = self.config
+        demand = Counter(
+            rec.cid for rec in self.system.logstore.downloads
+            if rec.p2p_enabled and not rec.prefetch
+        )
+        hot = [obj for obj in self.objects
+               if demand.get(obj.cid, 0) >= cfg.hot_threshold]
+        if not hot:
+            return 0
+        hot.sort(key=lambda o: demand.get(o.cid, 0), reverse=True)
+
+        started = 0
+        budget = cfg.max_prefetches_per_tick
+        for obj in hot:
+            if started >= budget:
+                break
+            deficits = self._region_deficits(obj)
+            for region, deficit in deficits:
+                while deficit > 0 and started < budget:
+                    peer = self._pick_prefetcher(obj, region)
+                    if peer is None:
+                        break
+                    session = peer.start_download(obj)
+                    session.is_prefetch = True
+                    started += 1
+                    deficit -= 1
+        self.prefetches_started += started
+        return started
+
+    def _region_deficits(self, obj: "ContentObject") -> list[tuple[str, int]]:
+        """(region, missing copies) for regions below the copies target."""
+        cfg = self.config
+        out = []
+        for region, dns in self.system.control.dns_by_region.items():
+            copies = sum(dn.copy_count(obj.cid) for dn in dns if dn.alive)
+            if copies < cfg.copies_target:
+                out.append((region, cfg.copies_target - copies))
+        # Fill the emptiest regions first.
+        out.sort(key=lambda item: -item[1])
+        return out
+
+    def _pick_prefetcher(self, obj: "ContentObject", region: str):
+        """An idle, online, upload-enabled peer in ``region`` lacking ``obj``."""
+        for peer in self.system.all_peers:
+            if (
+                peer.online
+                and peer.uploads_enabled
+                and peer.network_region == region
+                and not peer.sessions            # idle
+                and not peer.has_complete(obj.cid)
+            ):
+                return peer
+        return None

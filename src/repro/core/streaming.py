@@ -1,0 +1,316 @@
+"""Video streaming over NetSession (paper §3.4's minor delivery mode).
+
+"NetSession also supports video streaming, but it currently does not serve
+much video traffic because of the requirement to install client software."
+
+Streaming reuses the hybrid download engine unchanged — the work pool is
+consumed front-to-back, which approximates the sequential fetch order a
+player needs — and adds a playback model on top: the player starts once an
+initial buffer is filled, consumes bytes at the video bitrate, and stalls
+(rebuffers) when playback catches up with the contiguous downloaded prefix.
+
+QoE metrics exposed: startup delay, rebuffer count, total stall time — the
+quantities a LiveSky-style streaming study (paper §7) would measure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.content import ContentObject
+from repro.core.swarm import Chunk, DownloadSession, EdgeConnection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.peer import PeerNode
+    from repro.core.system import NetSessionSystem
+
+__all__ = ["StreamingSession", "start_streaming"]
+
+#: Peer connections fetch at most this many pieces per batch in a stream —
+#: small batches keep the in-order frontier moving even on slow uplinks.
+PEER_BATCH_PIECES = 3
+#: The infrastructure connection also uses bounded batches while streaming:
+#: pieces are only credited when a batch completes, so the playback prefix
+#: needs frequent, small deliveries.
+EDGE_BATCH_PIECES = 4
+#: The next this-many in-order pieces are reserved for the infrastructure —
+#: peers prefetch beyond the window, so a slow uplink can never hold the
+#: playback frontier (how production p2p video players split urgent vs
+#: prefetch segments).
+URGENT_WINDOW_PIECES = 4
+#: The player hands the head piece to the infrastructure when a peer's ETA
+#: for it exceeds this many seconds (or a quarter of the buffer, whichever
+#: is larger) — the frontier is too precious to wait on a slow uplink.
+URGENCY_ETA_FLOOR = 5.0
+
+
+class StreamingSession(DownloadSession):
+    """A download with an attached playback process."""
+
+    def __init__(
+        self,
+        system: "NetSessionSystem",
+        peer: "PeerNode",
+        obj: ContentObject,
+        *,
+        bitrate: float,
+        startup_buffer_s: float = 10.0,
+        rebuffer_resume_s: float = 5.0,
+        playback_tick_s: float = 1.0,
+    ):
+        """``bitrate`` is the video's consumption rate in *bytes* per second."""
+        if bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+        if startup_buffer_s <= 0 or rebuffer_resume_s <= 0:
+            raise ValueError("buffer thresholds must be positive")
+        super().__init__(system, peer, obj)
+        self.bitrate = bitrate
+        self.startup_buffer_s = startup_buffer_s
+        self.rebuffer_resume_s = rebuffer_resume_s
+        self.playback_tick_s = playback_tick_s
+
+        self.playing = False
+        self.playback_started_at: Optional[float] = None
+        self.played_bytes = 0.0
+        self.rebuffer_events = 0
+        self.rebuffer_time = 0.0
+        self.playback_finished_at: Optional[float] = None
+        self._stall_since: Optional[float] = None
+        self._tick_event = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Begin the transfer and arm the playback clock."""
+        super().start()
+        if self.state == "active":
+            self._tick_event = self.system.sim.every(
+                self.playback_tick_s, self._playback_tick
+            )
+
+    # -------------------------------------------------- in-order scheduling
+
+    def take_chunk(self, conn) -> Optional[Chunk]:
+        """Hand out work in play order with an edge-reserved urgent window.
+
+        The infrastructure serves the pool head (the pieces the player
+        needs next) in small batches — small because pieces are only
+        credited when a batch completes.  Peers prefetch *beyond* the
+        urgent window, so a slow uplink can never stall the frontier.
+        """
+        if not self.piece_pool:
+            return None
+        if isinstance(conn, EdgeConnection):
+            thin = (self.playback_started_at is None
+                    or self.buffered_seconds() < self.startup_buffer_s)
+            limit = 2 if thin else EDGE_BATCH_PIECES
+            batch, self.piece_pool = (self.piece_pool[:limit],
+                                      self.piece_pool[limit:])
+            return Chunk(batch)
+        window = URGENT_WINDOW_PIECES
+        if len(self.piece_pool) <= window:
+            return None  # tail is the edge's job
+        batch = self.piece_pool[window:window + PEER_BATCH_PIECES]
+        del self.piece_pool[window:window + PEER_BATCH_PIECES]
+        return Chunk(batch)
+
+    def requeue_pieces(self, pieces: list[int]) -> None:
+        """Requeue in play order: returned pieces go to the pool *front*."""
+        todo = sorted(p for p in pieces if p not in self.received)
+        if todo:
+            self.piece_pool[:0] = todo
+            # Keep the whole pool in play order (cheap: pools are small).
+            self.piece_pool.sort()
+
+    def _backstop_tick(self) -> None:
+        """Streaming-aware backstop: protect the buffer before offloading.
+
+        While the buffer is thin, the edge connection runs unthrottled so
+        startup and recovery are fast; once the buffer is comfortable the
+        normal offload policy applies.
+        """
+        if self.buffered_seconds() < 2 * self.startup_buffer_s:
+            if self.state == "active" and self.edge_conn is not None:
+                self.edge_conn.set_cap(None)
+                self._steal_stuck_head()
+            return
+        super()._backstop_tick()
+        # The edge alone feeds the urgent window, so it must always outrun
+        # playback — never throttle it below a safety multiple of the
+        # bitrate, even when the peers look plentiful.
+        floor = 2.0 * self.bitrate
+        if (self.state == "active" and self.edge_conn is not None
+                and self.edge_cap is not None and self.edge_cap < floor):
+            self.edge_conn.set_cap(floor)
+
+    def _steal_stuck_head(self) -> None:
+        """Reassign imminent pieces to the edge when peers would stall them.
+
+        Scans the next few missing pieces (the playback frontier); if any
+        is in flight on a peer whose ETA is worse than the urgency budget,
+        that connection is closed — its pieces requeue at the pool front,
+        where the edge picks them up within a batch or two.  At most one
+        connection is stolen per tick to avoid churn storms.
+        """
+        if self.state != "active" or self.edge_conn is None:
+            return
+        frontier: list[int] = []
+        for index in range(self.obj.num_pieces):
+            if index not in self.received:
+                frontier.append(index)
+                if len(frontier) >= URGENT_WINDOW_PIECES:
+                    break
+        if not frontier:
+            return
+        budget = max(URGENCY_ETA_FLOOR, 0.25 * self.buffered_seconds())
+        urgent = set(frontier)
+        for conn in list(self.peer_conns):
+            if conn.closed or conn.chunk is None:
+                continue
+            if urgent.isdisjoint(conn.chunk.pieces):
+                continue
+            rate = conn.flow.rate if conn.flow is not None and conn.flow.active else 0.0
+            eta = (conn.flow.remaining / rate) if rate > 0 else float("inf")
+            if eta > budget:
+                conn.close(credit_partial=True)
+                if self.state == "active" and self.edge_conn is not None \
+                        and not self.edge_conn.busy:
+                    self.edge_conn.pull_next()
+                return
+
+    def _rebalance_for_buffer(self) -> None:
+        """Protect head-fetch bandwidth while the buffer is thin.
+
+        The downlink is shared max-min across all connections; with dozens
+        of peer flows the urgent in-order fetch would crawl.  While the
+        buffer is below the comfort level, peer flows are collectively
+        capped to a minority of the downlink so the infrastructure (serving
+        the playback frontier) gets the rest; once the buffer is
+        comfortable the caps return to the uploaders\' normal limits.
+        """
+        live = [c for c in self.peer_conns
+                if not c.closed and c.flow is not None and c.flow.active]
+        if not live:
+            return
+        thin = self.buffered_seconds() < 2 * self.startup_buffer_s
+        down = self.peer.link.down_bps
+        for conn in live:
+            base = conn.uploader.upload_rate_cap()
+            if thin:
+                cap = min(base, max(1.0, 0.4 * down / len(live)))
+            else:
+                cap = base
+            if conn.flow.cap != cap:
+                self.system.flows.set_cap(conn.flow, cap)
+
+    # -------------------------------------------------------------- playback
+
+    def contiguous_bytes(self) -> int:
+        """Bytes of the contiguous verified prefix (what a player can use)."""
+        total = 0
+        for index in range(self.obj.num_pieces):
+            if index not in self.received:
+                break
+            total += self.obj.piece_size(index)
+        return total
+
+    def buffered_seconds(self) -> float:
+        """Playable seconds ahead of the playhead."""
+        return max(0.0, (self.contiguous_bytes() - self.played_bytes)
+                   / self.bitrate)
+
+    def _playback_tick(self) -> None:
+        now = self.system.sim.now
+        if self.playback_finished_at is not None:
+            return
+        if self.state in ("failed", "aborted"):
+            self._stop_clock()
+            return
+
+        prefix = self.contiguous_bytes()
+        if self.state == "active":
+            self._rebalance_for_buffer()
+            # React to head-of-line stalls at playback-tick granularity —
+            # a slow peer holding the next-to-play piece is stolen to the
+            # edge before the buffer drains, not after.
+            self._steal_stuck_head()
+        if not self.playing:
+            threshold = (self.startup_buffer_s if self.playback_started_at is None
+                         else self.rebuffer_resume_s)
+            if prefix - self.played_bytes >= threshold * self.bitrate or (
+                prefix >= self.obj.size and self.played_bytes < self.obj.size
+            ):
+                self.playing = True
+                if self.playback_started_at is None:
+                    self.playback_started_at = now
+                if self._stall_since is not None:
+                    self.rebuffer_time += now - self._stall_since
+                    self._stall_since = None
+            return
+
+        # Consume one tick of video.
+        budget = self.bitrate * self.playback_tick_s
+        available = prefix - self.played_bytes
+        self.played_bytes += max(0.0, min(budget, available))
+        if self.played_bytes >= self.obj.size - 0.5:
+            self.played_bytes = float(self.obj.size)
+            self.playback_finished_at = now
+            self._stop_clock()
+        elif available < budget:
+            # Stall mid-video: played out the prefix, now rebuffering.
+            self.playing = False
+            self.rebuffer_events += 1
+            self._stall_since = now
+
+    def _stop_clock(self) -> None:
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    # --------------------------------------------------------------- metrics
+
+    @property
+    def startup_delay(self) -> Optional[float]:
+        """Seconds from request to first frame; None if never started."""
+        if self.playback_started_at is None:
+            return None
+        return self.playback_started_at - self.started_at
+
+    def qoe_report(self) -> dict[str, float]:
+        """The streaming QoE summary."""
+        return {
+            "startup_delay": self.startup_delay if self.startup_delay is not None
+            else float("inf"),
+            "rebuffer_events": float(self.rebuffer_events),
+            "rebuffer_time": self.rebuffer_time,
+            "peer_fraction": self.peer_fraction,
+            "finished": float(self.playback_finished_at is not None),
+        }
+
+
+def start_streaming(
+    peer: "PeerNode",
+    obj: ContentObject,
+    *,
+    bitrate: float,
+    startup_buffer_s: float = 10.0,
+) -> StreamingSession:
+    """Begin streaming ``obj`` on ``peer`` through the hybrid engine.
+
+    Follows the same session-registration path as the Download Manager, so
+    pause/resume, logging, and accounting all behave identically.
+    """
+    if not peer.online:
+        raise RuntimeError(f"peer {peer.guid[:8]} is offline")
+    if obj.cid in peer.sessions:
+        session = peer.sessions[obj.cid]
+        if isinstance(session, StreamingSession):
+            return session
+        raise RuntimeError(f"object {obj.cid} already downloading as a file")
+    session = StreamingSession(
+        peer.system, peer, obj,
+        bitrate=bitrate, startup_buffer_s=startup_buffer_s,
+    )
+    peer.sessions[obj.cid] = session
+    session.start()
+    return session

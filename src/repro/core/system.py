@@ -1,0 +1,192 @@
+"""The NetSession system facade: everything wired together.
+
+:class:`NetSessionSystem` assembles the substrate (simulator, flow network,
+world, topology, geo database) and the system proper (edge network, control
+plane, accounting) and exposes the operations the workload layer drives:
+create peers, publish content, start downloads, advance time.
+
+This is the public entry point of the core library::
+
+    from repro.core import NetSessionSystem, ContentProvider, ContentObject
+
+    system = NetSessionSystem(seed=7)
+    provider = ContentProvider(cp_code=1001, name="GameCo", upload_default_rate=1.0)
+    obj = ContentObject("game-installer.bin", 800_000_000, provider, p2p_enabled=True)
+    system.publish(obj)
+
+    peers = [system.create_peer() for _ in range(50)]
+    for p in peers:
+        p.boot()
+    session = peers[0].start_download(obj)
+    system.run(until=3600)
+    print(session.state, session.peer_fraction)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.analysis.logstore import LogStore
+from repro.core.accounting import AccountingService
+from repro.core.config import SystemConfig
+from repro.core.content import ContentObject, ContentProvider
+from repro.core.control.plane import ControlPlane
+from repro.core.edge import EdgeNetwork
+from repro.core.peer import PeerNode
+from repro.core.swarm import DownloadSession
+from repro.net.addressing import IPAllocator
+from repro.net.flows import FlowNetwork
+from repro.net.geo import Country, GeoDatabase, World, build_core_world
+from repro.net.links import BroadbandModel
+from repro.net.nat import NATModel
+from repro.net.sim import Simulator
+from repro.net.topology import ASTopology, build_topology
+
+__all__ = ["NetSessionSystem"]
+
+
+class NetSessionSystem:
+    """A complete, runnable NetSession deployment over a synthetic Internet."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        *,
+        seed: int = 0,
+        world: Optional[World] = None,
+        topology: Optional[ASTopology] = None,
+        locality_aware_selection: bool = True,
+    ):
+        self.config = config if config is not None else SystemConfig()
+        self.rng = random.Random(seed)
+        self.sim = Simulator()
+        self.flows = FlowNetwork(self.sim)
+
+        self.world = world if world is not None else build_core_world()
+        self.topology = (
+            topology
+            if topology is not None
+            else build_topology(self.world, random.Random(seed ^ 0x70_70))
+        )
+        self.geodb = GeoDatabase()
+        self.allocator = IPAllocator(self.geodb, random.Random(seed ^ 0xA11))
+        self.broadband = BroadbandModel(random.Random(seed ^ 0xB0B))
+        self.nat_model = NATModel(random.Random(seed ^ 0x4A7))
+
+        self.logstore = LogStore()
+        regions = self.topology.network_regions()
+        self.edge = EdgeNetwork(
+            regions,
+            random.Random(seed ^ 0xED6E),
+            servers_per_region=self.config.edge_servers_per_region,
+            egress_mbps=self.config.edge_egress_mbps,
+        )
+        self.accounting = AccountingService(self.edge)
+        self.control = ControlPlane(
+            self.sim, self.config, self.edge, self.logstore, self.accounting,
+            regions, random.Random(seed ^ 0xC7),
+            locality_aware=locality_aware_selection,
+        )
+
+        self.all_peers: list[PeerNode] = []
+        self.peer_by_guid: dict[str, PeerNode] = {}
+        self.providers: dict[int, ContentProvider] = {}
+
+    # ----------------------------------------------------------------- content
+
+    def register_provider(self, provider: ContentProvider) -> None:
+        """Onboard a content provider (customer account)."""
+        self.providers[provider.cp_code] = provider
+
+    def publish(self, obj: ContentObject) -> None:
+        """Publish an object to the edge network (provider upload)."""
+        if obj.provider.cp_code not in self.providers:
+            self.register_provider(obj.provider)
+        self.edge.publish(obj)
+
+    # ------------------------------------------------------------------ peers
+
+    def create_peer(
+        self,
+        *,
+        country: Optional[Country] = None,
+        uploads_enabled: Optional[bool] = None,
+        installed_from: Optional[ContentProvider] = None,
+        guid: str | None = None,
+    ) -> PeerNode:
+        """Create a peer: sample location, AS, access link, and NAT.
+
+        ``uploads_enabled`` defaults to a draw from the bundling provider's
+        binary mix (Table 4); with neither given, it defaults to enabled.
+        The peer starts offline — call :meth:`PeerNode.boot`.
+        """
+        if country is None:
+            country = self.world.sample_country(self.rng)
+        city = self.world.sample_city(country, self.rng)
+        asys = self.topology.sample_as(country.code, self.rng)
+        link = self.broadband.sample(
+            f"peer{len(self.all_peers)}", speed_multiplier=country.speed_multiplier
+        )
+        nat = self.nat_model.sample()
+        if uploads_enabled is None:
+            if installed_from is not None:
+                uploads_enabled = self.rng.random() < installed_from.upload_default_rate
+            else:
+                uploads_enabled = True
+        peer = PeerNode(
+            self, country, city, asys, link, nat,
+            uploads_enabled=uploads_enabled,
+            installed_from_cp=installed_from.cp_code if installed_from else 0,
+            guid=guid,
+        )
+        self.all_peers.append(peer)
+        self.peer_by_guid[peer.guid] = peer
+        return peer
+
+    def adopt_clone(self, peer: PeerNode) -> None:
+        """Register a peer whose GUID collides with an existing install (§6.2).
+
+        The directory maps a GUID to its most recently seen machine — the
+        same ambiguity the production system experiences with cloned images.
+        """
+        if peer not in self.all_peers:
+            self.all_peers.append(peer)
+        self.peer_by_guid[peer.guid] = peer
+
+    # -------------------------------------------------------------- operation
+
+    def start_download(self, peer: PeerNode, obj: ContentObject) -> DownloadSession:
+        """Convenience wrapper for ``peer.start_download(obj)``."""
+        return peer.start_download(obj)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance simulated time (see :meth:`repro.net.sim.Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def finalize_open_downloads(self) -> int:
+        """End-of-trace cleanup: abort paused/active sessions still open.
+
+        Mirrors the trace semantics: a download paused and never resumed by
+        the end of the measurement month counts as aborted (§5.2).  Returns
+        the number of sessions finalized.
+        """
+        count = 0
+        for peer in self.all_peers:
+            for session in list(peer.sessions.values()):
+                if session.state in ("active", "paused"):
+                    session.abort()
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------- inspection
+
+    def online_peer_count(self) -> int:
+        """Peers currently online."""
+        return sum(1 for p in self.all_peers if p.online)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<NetSessionSystem peers={len(self.all_peers)} "
+            f"objects={len(self.edge.catalog)} t={self.sim.now:.0f}s>"
+        )

@@ -1,0 +1,18 @@
+"""One runner per paper table/figure; see DESIGN.md's experiment index.
+
+Each ``exp_*`` module exposes ``run(scale, seed) -> ExperimentOutput``.
+"""
+
+from repro.experiments.common import ExperimentOutput, standard_config, standard_result
+
+__all__ = ["ExperimentOutput", "standard_config", "standard_result", "ALL_EXPERIMENTS"]
+
+#: Importable names of all experiment modules, for the run-everything example.
+ALL_EXPERIMENTS = [
+    "exp_table1", "exp_table2", "exp_table3", "exp_table4",
+    "exp_fig2", "exp_fig3", "exp_fig4", "exp_fig5", "exp_fig6", "exp_fig7",
+    "exp_fig8", "exp_fig9", "exp_fig10", "exp_fig11", "exp_fig12",
+    "exp_offload", "exp_reliability", "exp_mobility",
+    "exp_baselines", "exp_ablation_locality", "exp_ablation_backstop",
+    "exp_lan_updates", "exp_ablation_prefetch", "exp_managed_swarm",
+]

@@ -1,0 +1,79 @@
+"""Shared experiment machinery: standard scenarios, caching, output type.
+
+Every table/figure runner draws on the same synthetic trace (like the
+paper: one October-2012 log set feeds every analysis), so the scenario
+result is computed once per (scale, seed) and cached for the process.
+
+Scales:
+
+* ``small``  — seconds; used by the benchmark suite;
+* ``standard`` — the calibrated flagship run (~1 min) used for
+  EXPERIMENTS.md numbers;
+* ``mobility`` — small population but long trace with mobility/cloning
+  cranked up, for the §6.2 analyses that need many logins, and with a
+  padded 239-territory world for Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workload import (
+    BehaviorConfig, CatalogConfig, DemandConfig, PopulationConfig,
+    ScenarioConfig, ScenarioResult, run_scenario,
+)
+
+__all__ = ["ExperimentOutput", "standard_config", "standard_result", "SCALES"]
+
+SCALES = ("small", "standard", "mobility")
+
+_CACHE: dict[tuple[str, int], ScenarioResult] = {}
+
+
+@dataclass
+class ExperimentOutput:
+    """What every experiment runner returns."""
+
+    name: str
+    text: str                      # rendered table/series, paper-style
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def standard_config(scale: str = "small", seed: int = 42) -> ScenarioConfig:
+    """The scenario configuration for a named scale."""
+    if scale == "small":
+        return ScenarioConfig(
+            seed=seed,
+            duration_days=3.0,
+            population=PopulationConfig(n_peers=900),
+            demand=DemandConfig(total_downloads=1100, duration_days=3.0),
+            catalog=CatalogConfig(objects_per_provider=40),
+        )
+    if scale == "standard":
+        return ScenarioConfig(
+            seed=seed,
+            duration_days=7.0,
+            population=PopulationConfig(n_peers=3000),
+            demand=DemandConfig(total_downloads=3500, duration_days=7.0),
+        )
+    if scale == "mobility":
+        return ScenarioConfig(
+            seed=seed,
+            duration_days=10.0,
+            extra_territories=197,  # core world has 42 countries; 239 total
+            population=PopulationConfig(n_peers=1200),
+            demand=DemandConfig(total_downloads=800, duration_days=10.0),
+            catalog=CatalogConfig(objects_per_provider=30),
+        )
+    raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+def standard_result(scale: str = "small", seed: int = 42) -> ScenarioResult:
+    """Run (or fetch from cache) the standard scenario at a scale."""
+    key = (scale, seed)
+    if key not in _CACHE:
+        _CACHE[key] = run_scenario(standard_config(scale, seed))
+    return _CACHE[key]

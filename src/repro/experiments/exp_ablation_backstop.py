@@ -1,0 +1,44 @@
+"""Ablation: the edge backstop policy on vs off.
+
+With the backstop policy disabled the edge connection runs at full fair
+share in every download — QoS is maximal but offload collapses, which is
+why NetSession throttles its infrastructure connection when the peers are
+delivering (§3.3's "cover the difference" behaviour, inverted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import offload_summary, pct, render_table
+from repro.experiments.common import ExperimentOutput, standard_config, standard_result
+from repro.workload import run_scenario
+
+
+def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
+    """Compare offload and speed with the backstop policy on/off."""
+    on = standard_result(scale, seed)
+    cfg = standard_config(scale, seed)
+    off_cfg = replace(
+        cfg, system=cfg.system.with_client(edge_backstop_enabled=False)
+    )
+    off = run_scenario(off_cfg)
+
+    rows = []
+    metrics = {}
+    for label, result in (("backstop on", on), ("backstop off", off)):
+        summary = offload_summary(result.logstore)
+        completed = [r for r in result.logstore.downloads if r.outcome == "completed"]
+        speeds = sorted(r.average_speed_bps() * 8 / 1e6 for r in completed)
+        median = speeds[len(speeds) // 2] if speeds else 0.0
+        rows.append((label, pct(summary.mean_peer_efficiency),
+                     pct(summary.byte_weighted_efficiency), f"{median:.1f} Mbps"))
+        key = label.replace(" ", "_")
+        metrics[f"{key}_efficiency"] = summary.mean_peer_efficiency
+        metrics[f"{key}_median_speed"] = median
+    text = render_table(
+        "Ablation: edge backstop policy",
+        ["policy", "mean peer eff", "byte-weighted eff", "median speed"],
+        rows,
+    )
+    return ExperimentOutput(name="ablation_backstop", text=text, metrics=metrics)

@@ -1,0 +1,48 @@
+"""Experiment: Figure 10 — per-AS upload/download balance."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import build_traffic_matrix, figure10_balance_scatter, render_table
+from repro.experiments.common import ExperimentOutput, standard_result
+
+
+def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
+    """Regenerate Figure 10.
+
+    Shape target: heavy uploaders sit near the diagonal (balanced up/down);
+    large relative imbalances occur only at small volumes.
+    """
+    result = standard_result(scale, seed)
+    matrix = build_traffic_matrix(result.logstore, result.geodb)
+    scatter = figure10_balance_scatter(matrix)
+
+    def log_ratio(up: float, down: float) -> float | None:
+        if up <= 0 or down <= 0:
+            return None
+        return abs(math.log10(up / down))
+
+    heavy_ratios = [r for _a, u, d, h in scatter if h and (r := log_ratio(u, d)) is not None]
+    light_ratios = [r for _a, u, d, h in scatter if not h and (r := log_ratio(u, d)) is not None]
+    rows = []
+    for label, ratios in (("heavy", heavy_ratios), ("light", light_ratios)):
+        if ratios:
+            rows.append((label, len(ratios),
+                         f"{sum(ratios) / len(ratios):.2f}",
+                         f"{max(ratios):.2f}"))
+    text = render_table(
+        "Figure 10: |log10(up/down)| per AS (0 = balanced)",
+        ["class", "ASes", "mean", "max"], rows,
+    )
+    heavy_mean = sum(heavy_ratios) / len(heavy_ratios) if heavy_ratios else 0.0
+    light_mean = sum(light_ratios) / len(light_ratios) if light_ratios else 0.0
+    return ExperimentOutput(
+        name="fig10",
+        text=text + f"\n\nscatter points: {len(scatter)}",
+        metrics={
+            "heavy_mean_imbalance": heavy_mean,
+            "light_mean_imbalance": light_mean,
+            "heavy_more_balanced": float(heavy_mean <= light_mean),
+        },
+    )

@@ -1,0 +1,59 @@
+"""Experiment: Figure 5 — registered copies vs peer efficiency."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import figure5_efficiency_vs_copies, render_table
+from repro.experiments.common import ExperimentOutput, standard_config
+from repro.workload import run_scenario
+
+_CACHE: dict[tuple[str, int], object] = {}
+
+
+def _fig5_result(scale: str, seed: int):
+    """A scenario variant with p2p files spread across popularity ranks.
+
+    Figure 5's x-axis spans files with one copy to files with tens of
+    thousands; the standard catalog enables p2p only on flagship objects,
+    which all land in the same (high) copy regime.  This variant enables
+    p2p on a larger, popularity-diverse slice so the copies axis has range.
+    """
+    key = (scale, seed)
+    if key not in _CACHE:
+        cfg = standard_config(scale, seed)
+        catalog = replace(
+            cfg.catalog,
+            p2p_enabled_fraction=0.12,
+            p2p_head_bias=0.30,
+        )
+        _CACHE[key] = run_scenario(replace(cfg, catalog=catalog,
+                                           warm_copies_per_peer=2.0))
+    return _CACHE[key]
+
+
+def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
+    """Regenerate Figure 5.
+
+    Shape target: efficiency near zero for files with few registered
+    copies, rising steeply once tens of copies exist (paper: <10% below 50
+    copies, reaching ~80% at high copy counts — the x-axis is compressed by
+    the scenario's scale).
+    """
+    result = _fig5_result(scale, seed)
+    rows = figure5_efficiency_vs_copies(result.logstore)
+    table_rows = [
+        (f"{center:.0f}", f"{100 * m:.0f}%", f"{100 * p20:.0f}%", f"{100 * p80:.0f}%")
+        for center, m, p20, p80 in rows
+    ]
+    text = render_table(
+        "Figure 5: peer efficiency vs registered copies",
+        ["copies (bin center)", "mean eff", "p20", "p80"],
+        table_rows,
+    )
+    metrics = {}
+    if rows:
+        metrics["low_copy_efficiency"] = rows[0][1]
+        metrics["high_copy_efficiency"] = rows[-1][1]
+        metrics["monotone_gain"] = rows[-1][1] - rows[0][1]
+    return ExperimentOutput(name="fig5", text=text, metrics=metrics)

@@ -1,0 +1,51 @@
+"""Experiment: Figure 9 — inter-AS traffic distribution."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    build_traffic_matrix, figure9a_upload_cdf, figure9b_cumulative_contribution,
+    figure9c_ips_per_as, heavy_uploader_ases, render_series,
+)
+from repro.experiments.common import ExperimentOutput, standard_result
+
+
+def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
+    """Regenerate Figure 9(a)-(c).
+
+    Shape targets: a heavy-tailed per-AS upload distribution (paper: 98% of
+    ASes contribute ~10% of bytes; ~18% of p2p bytes stay intra-AS), with
+    heavy uploaders simply containing more peers.
+    """
+    result = standard_result(scale, seed)
+    matrix = build_traffic_matrix(result.logstore, result.geodb)
+
+    text = render_series(
+        "Figure 9a: inter-AS bytes uploaded per AS (CDF over ASes)",
+        {"uploads": figure9a_upload_cdf(matrix)}, x_label="bytes", y_label="CDF",
+    )
+    text += "\n\n" + render_series(
+        "Figure 9b: cumulative contribution vs per-AS upload",
+        {"cumulative": figure9b_cumulative_contribution(matrix)},
+        x_label="bytes", y_label="share of total",
+    )
+    text += "\n\n" + render_series(
+        "Figure 9c: distinct IPs per AS (light vs heavy uploaders)",
+        figure9c_ips_per_as(matrix), x_label="IPs", y_label="CDF",
+    )
+    heavy = heavy_uploader_ases(matrix)
+    observed = len(matrix.observed_ases)
+    heavy_share = len(heavy) / observed if observed else 0.0
+    text += (
+        f"\n\nintra-AS byte fraction: {100 * matrix.intra_as_fraction:.0f}% (paper: 18%)"
+        f"\nheavy uploaders: {len(heavy)}/{observed} ASes carry 90% of bytes"
+        f" (paper: 2%)"
+    )
+    return ExperimentOutput(
+        name="fig9",
+        text=text,
+        metrics={
+            "intra_as_fraction": matrix.intra_as_fraction,
+            "heavy_as_share": heavy_share,
+            "observed_ases": observed,
+        },
+    )

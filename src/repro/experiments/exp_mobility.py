@@ -1,0 +1,34 @@
+"""Experiment: §6.2 mobility statistics."""
+
+from __future__ import annotations
+
+from repro.analysis import mobility_summary, pct, render_comparison
+from repro.experiments.common import ExperimentOutput, standard_result
+
+
+def run(scale: str = "mobility", seed: int = 42) -> ExperimentOutput:
+    """Regenerate the §6.2 mobility numbers.
+
+    Paper: 80.6% of GUIDs from one AS, 13.4% from two, 6% from more; 77%
+    within 10 km.
+    """
+    result = standard_result(scale, seed)
+    summary = mobility_summary(result.logstore, result.geodb)
+    rows = [
+        ("single AS", "80.6%", pct(summary.one_as)),
+        ("two ASes", "13.4%", pct(summary.two_as)),
+        (">2 ASes", "6.0%", pct(summary.more_as)),
+        ("within 10 km", "77%", pct(summary.within_10km)),
+        ("beyond 10 km", "23%", pct(summary.beyond_10km)),
+        ("new connections/min", "20922", f"{summary.mean_new_connections_per_minute:.1f}"),
+    ]
+    return ExperimentOutput(
+        name="mobility",
+        text=render_comparison("Section 6.2: mobility", rows),
+        metrics={
+            "one_as": summary.one_as,
+            "two_as": summary.two_as,
+            "more_as": summary.more_as,
+            "within_10km": summary.within_10km,
+        },
+    )

@@ -1,0 +1,44 @@
+"""Experiment: Table 3 — changes to the upload-enabled setting."""
+
+from __future__ import annotations
+
+from repro.analysis import pct, render_table, table3_setting_changes
+from repro.experiments.common import ExperimentOutput, standard_result
+
+#: Paper: {initial: (share with 0 / 1 / >=2 changes)}.
+PAPER = {
+    "disabled": (0.9996, 0.0003, 0.0001),
+    "enabled": (0.9811, 0.0180, 0.0009),
+}
+
+
+def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
+    """Regenerate Table 3: do users ever touch the upload setting?"""
+    result = standard_result(scale, seed)
+    table = table3_setting_changes(result.logstore)
+    rows = []
+    for key in ("disabled", "enabled"):
+        row = table.get(key, {})
+        paper = PAPER[key]
+        rows.append([
+            key, int(row.get("nodes", 0)),
+            f"{pct(row.get('0', 0.0), 2)} (paper {pct(paper[0], 2)})",
+            f"{pct(row.get('1', 0.0), 2)} (paper {pct(paper[1], 2)})",
+            f"{pct(row.get('2+', 0.0), 2)} (paper {pct(paper[2], 2)})",
+        ])
+    text = render_table(
+        "Table 3: observed changes to the upload setting",
+        ["initially", "nodes", "0 changes", "1 change", ">=2 changes"],
+        rows,
+    )
+    never = 0.0
+    total = 0.0
+    for key in ("disabled", "enabled"):
+        row = table.get(key, {})
+        never += row.get("0", 0.0) * row.get("nodes", 0)
+        total += row.get("nodes", 0)
+    return ExperimentOutput(
+        name="table3",
+        text=text,
+        metrics={"keep_initial_fraction": never / total if total else 0.0},
+    )

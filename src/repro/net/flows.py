@@ -1,0 +1,402 @@
+"""Flow-level fluid bandwidth model with max-min fair sharing.
+
+Downloads in this reproduction are not simulated packet-by-packet; what the
+paper measures (download speed CDFs, peer efficiency, traffic volumes) is
+driven entirely by how competing transfers share constrained links.  We model
+each transfer as a *flow* that traverses a set of capacity-constrained
+*resources* — the uploader's uplink, the downloader's downlink, an edge
+server's egress capacity — and allocate rates with the classic progressive
+water-filling algorithm, which yields the max-min fair allocation [Bertsekas
+& Gallager].  Per-flow rate caps model NetSession's deliberate upload
+throttling (paper §3.9).
+
+Between allocation changes every flow progresses linearly, so the engine is
+event-driven: rates are only recomputed when a flow starts, finishes, is
+aborted, or has its cap changed — and only for the connected component of
+flows that actually share resources with the change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterable, Optional
+
+from repro.net.sim import Simulator
+
+__all__ = ["Resource", "Flow", "FlowNetwork"]
+
+#: Rate assigned to a flow constrained by nothing at all (no resources, no
+#: cap).  Finite so completion times stay finite; generous enough (10 GB/s)
+#: that it never binds in realistic scenarios.
+UNCONSTRAINED_RATE = 10e9
+
+
+class Resource:
+    """A capacity constraint shared by flows (a link direction, a server NIC).
+
+    ``capacity`` is in bytes/second.  A resource with ``capacity=None`` is
+    unconstrained and never becomes a bottleneck (useful for modelling core
+    links we assume are overprovisioned, as the paper implicitly does).
+    """
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: Optional[float]):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"resource {name!r} capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.flows: set["Flow"] = set()
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently allocated (0.0 for unconstrained)."""
+        if self.capacity is None:
+            return 0.0
+        return sum(f.rate for f in self.flows) / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "inf" if self.capacity is None else f"{self.capacity:.0f}B/s"
+        return f"<Resource {self.name} cap={cap} flows={len(self.flows)}>"
+
+
+class Flow:
+    """A fluid transfer of ``size`` bytes across a set of resources.
+
+    Flows are created through :meth:`FlowNetwork.start_flow`.  ``meta`` is an
+    opaque payload for the caller (the swarm layer stores the connection it
+    belongs to).
+    """
+
+    __slots__ = (
+        "flow_id", "resources", "size", "transferred", "rate", "cap",
+        "on_complete", "meta", "start_time", "_last_update", "_version",
+        "active", "end_time",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        resources: tuple[Resource, ...],
+        size: float,
+        cap: Optional[float],
+        on_complete: Optional[Callable[["Flow"], None]],
+        meta: object,
+        now: float,
+    ):
+        self.flow_id = flow_id
+        self.resources = resources
+        self.size = float(size)
+        self.transferred = 0.0
+        self.rate = 0.0
+        self.cap = cap
+        self.on_complete = on_complete
+        self.meta = meta
+        self.start_time = now
+        self.end_time: Optional[float] = None
+        self._last_update = now
+        self._version = 0
+        self.active = True
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to transfer."""
+        return max(0.0, self.size - self.transferred)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Transfer duration, or None if still active."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def average_rate(self, now: Optional[float] = None) -> float:
+        """Mean throughput in bytes/s over the flow's lifetime so far."""
+        end = self.end_time if self.end_time is not None else now
+        if end is None or end <= self.start_time:
+            return 0.0
+        return self.transferred / (end - self.start_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Flow #{self.flow_id} {self.transferred:.0f}/{self.size:.0f}B "
+            f"@{self.rate:.0f}B/s {'active' if self.active else 'done'}>"
+        )
+
+
+class FlowNetwork:
+    """Manages all active flows and keeps their rates max-min fair.
+
+    The network owns a completion heap inside the simulator: whenever rates
+    change, new completion times are computed and stale heap entries are
+    invalidated lazily via per-flow version counters.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._next_id = 0
+        self.active_flows: set[Flow] = set()
+        # (completion_time, flow_id, version, flow) — lazy invalidation
+        self._completions: list[tuple[float, int, int, Flow]] = []
+        self._completion_event = None
+        self.completed_count = 0
+        self.aborted_count = 0
+
+    # ------------------------------------------------------------------ API
+
+    def start_flow(
+        self,
+        resources: Iterable[Resource],
+        size: float,
+        *,
+        cap: Optional[float] = None,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        meta: object = None,
+    ) -> Flow:
+        """Begin a transfer of ``size`` bytes across ``resources``.
+
+        ``cap`` optionally limits the flow's rate regardless of fair share
+        (NetSession's upload throttle).  ``on_complete`` fires, inside the
+        simulator, when the last byte is delivered.
+        """
+        if size <= 0:
+            raise ValueError(f"flow size must be positive, got {size}")
+        if cap is not None and cap <= 0:
+            raise ValueError(f"flow cap must be positive, got {cap}")
+        flow = Flow(
+            flow_id=self._next_id,
+            resources=tuple(resources),
+            size=size,
+            cap=cap,
+            on_complete=on_complete,
+            meta=meta,
+            now=self.sim.now,
+        )
+        self._next_id += 1
+        self.active_flows.add(flow)
+        for res in flow.resources:
+            res.flows.add(flow)
+        self._reallocate(self._component(flow))
+        return flow
+
+    def abort_flow(self, flow: Flow) -> None:
+        """Stop a flow before completion; already-transferred bytes stand."""
+        if not flow.active:
+            return
+        self._settle(flow)
+        self._detach(flow)
+        flow.end_time = self.sim.now
+        self.aborted_count += 1
+        component = set()
+        for res in flow.resources:
+            if res.capacity is None:
+                continue
+            for other in res.flows:
+                component |= self._component(other)
+        self._reallocate(component)
+
+    def set_cap(self, flow: Flow, cap: Optional[float]) -> None:
+        """Change a flow's rate cap (used to throttle or pause-ish a flow)."""
+        if not flow.active:
+            return
+        if cap is not None and cap <= 0:
+            raise ValueError(f"flow cap must be positive, got {cap}")
+        flow.cap = cap
+        self._reallocate(self._component(flow))
+
+    def throughput_snapshot(self) -> dict[int, float]:
+        """Current rate of every active flow, keyed by flow id."""
+        return {f.flow_id: f.rate for f in self.active_flows}
+
+    # ------------------------------------------------------- internal engine
+
+    def _detach(self, flow: Flow) -> None:
+        flow.active = False
+        flow._version += 1  # invalidate any heap entry
+        self.active_flows.discard(flow)
+        for res in flow.resources:
+            res.flows.discard(flow)
+
+    def _settle(self, flow: Flow) -> None:
+        """Advance a flow's transferred bytes up to the current time."""
+        now = self.sim.now
+        dt = now - flow._last_update
+        if dt > 0:
+            flow.transferred = min(flow.size, flow.transferred + flow.rate * dt)
+        flow._last_update = now
+
+    def _component(self, flow: Flow) -> set[Flow]:
+        """All active flows transitively sharing a resource with ``flow``."""
+        if not flow.active:
+            return set()
+        seen = {flow}
+        frontier = [flow]
+        while frontier:
+            current = frontier.pop()
+            for res in current.resources:
+                if res.capacity is None:
+                    # Unconstrained resources never bind, so they don't
+                    # couple allocations — skipping them keeps components
+                    # (and reallocation cost) small.
+                    continue
+                for other in res.flows:
+                    if other not in seen:
+                        seen.add(other)
+                        frontier.append(other)
+        return seen
+
+    def _reallocate(self, flows: set[Flow]) -> None:
+        """Recompute max-min fair rates for a component and reschedule."""
+        flows = {f for f in flows if f.active}
+        if not flows:
+            self._schedule_next_completion()
+            return
+        for f in flows:
+            self._settle(f)
+
+        rates = _max_min_fair(flows)
+        for f, rate in rates.items():
+            f.rate = rate
+            f._version += 1
+            if rate > 0 and f.remaining > 0:
+                eta = self.sim.now + f.remaining / rate
+            else:
+                eta = math.inf
+            if math.isfinite(eta):
+                heapq.heappush(self._completions, (eta, f.flow_id, f._version, f))
+        self._schedule_next_completion()
+
+    def _schedule_next_completion(self) -> None:
+        # Drop stale heap entries, then (re)schedule the simulator event for
+        # the earliest valid completion.
+        while self._completions:
+            eta, _fid, version, flow = self._completions[0]
+            if not flow.active or version != flow._version:
+                heapq.heappop(self._completions)
+                continue
+            break
+        if self._completion_event is not None and self._completion_event.pending:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._completions:
+            return
+        eta = self._completions[0][0]
+        delay = max(0.0, eta - self.sim.now)
+        self._completion_event = self.sim.schedule(delay, self._on_completion_tick)
+
+    def _on_completion_tick(self) -> None:
+        now = self.sim.now
+        finished: list[Flow] = []
+        while self._completions:
+            eta, _fid, version, flow = self._completions[0]
+            if not flow.active or version != flow._version:
+                heapq.heappop(self._completions)
+                continue
+            if eta > now + 1e-9:
+                break
+            heapq.heappop(self._completions)
+            finished.append(flow)
+
+        affected: set[Flow] = set()
+        for flow in finished:
+            self._settle(flow)
+            flow.transferred = flow.size  # squash float residue
+            for res in flow.resources:
+                if res.capacity is None:
+                    continue
+                for other in res.flows:
+                    if other is not flow:
+                        affected.add(other)
+            self._detach(flow)
+            flow.end_time = now
+            self.completed_count += 1
+
+        component: set[Flow] = set()
+        for f in affected:
+            if f not in component and f.active:
+                component |= self._component(f)
+        self._reallocate(component)
+
+        for flow in finished:
+            if flow.on_complete is not None:
+                flow.on_complete(flow)
+
+
+def _max_min_fair(flows: set[Flow]) -> dict[Flow, float]:
+    """Progressive water-filling with per-flow caps.
+
+    Repeatedly find the binding constraint — either the most-loaded resource's
+    equal share or the smallest unfrozen flow cap — and freeze the affected
+    flows at that rate.  Each iteration freezes at least one flow, so the
+    loop terminates in at most ``len(flows)`` rounds.
+    """
+    remaining: dict[Resource, float] = {}
+    counts: dict[Resource, int] = {}
+    for f in flows:
+        for res in f.resources:
+            if res.capacity is None:
+                continue
+            if res not in remaining:
+                remaining[res] = res.capacity
+                counts[res] = 0
+            # Count only flows in this component; flows on this resource that
+            # are outside the component cannot exist (components are closed
+            # under shared resources).
+    for f in flows:
+        for res in f.resources:
+            if res in counts:
+                counts[res] += 1
+
+    unfrozen = set(flows)
+    rates: dict[Flow, float] = {}
+
+    while unfrozen:
+        # Bottleneck share among constrained resources with unfrozen flows.
+        share = math.inf
+        bottleneck: Optional[Resource] = None
+        for res, cap_left in remaining.items():
+            n = counts[res]
+            if n <= 0:
+                continue
+            s = cap_left / n
+            if s < share:
+                share = s
+                bottleneck = res
+
+        # Smallest cap among unfrozen flows.
+        min_cap = math.inf
+        for f in unfrozen:
+            if f.cap is not None and f.cap < min_cap:
+                min_cap = f.cap
+
+        if min_cap < share:
+            # Freeze all flows whose cap equals the minimum at their cap.
+            level = min_cap
+            frozen = [f for f in unfrozen if f.cap is not None and f.cap <= level]
+            for f in frozen:
+                rates[f] = f.cap  # type: ignore[assignment]
+                unfrozen.discard(f)
+                for res in f.resources:
+                    if res in remaining:
+                        remaining[res] -= f.cap  # type: ignore[operator]
+                        counts[res] -= 1
+        elif bottleneck is not None:
+            level = share
+            frozen = [f for f in unfrozen if bottleneck in f.resources]
+            for f in frozen:
+                rates[f] = level
+                unfrozen.discard(f)
+                for res in f.resources:
+                    if res in remaining:
+                        remaining[res] -= level
+                        counts[res] -= 1
+            remaining[bottleneck] = 0.0
+        else:
+            # No constrained resource and no cap: unconstrained flows.
+            for f in unfrozen:
+                rates[f] = f.cap if f.cap is not None else UNCONSTRAINED_RATE
+            unfrozen.clear()
+
+    # Guard against tiny negative residue from float subtraction.
+    return {f: max(0.0, r) for f, r in rates.items()}

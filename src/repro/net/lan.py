@@ -1,0 +1,40 @@
+"""Corporate LAN sites: same-building peers with a fast local network.
+
+Paper §5.3: "Another potential benefit of a large peer population is that
+downloading peers might find a copy of the requested content within their
+local network, e.g., in a corporate LAN.  In October 2012 this case appears
+to have been rare, but this could change, e.g., when NetSession is used to
+distribute large software updates."
+
+A :class:`LanSite` groups peers that share a switch: transfers between two
+members traverse the site's internal capacity instead of both members'
+broadband access links, so one office download can seed the whole building
+at LAN speed.  Peer selection treats same-site peers as the most specific
+locality level of all.
+"""
+
+from __future__ import annotations
+
+from repro.net.flows import Resource
+from repro.net.links import mbps
+
+__all__ = ["LanSite"]
+
+
+class LanSite:
+    """One corporate/campus LAN: an id plus shared internal capacity."""
+
+    def __init__(self, site_id: str, *, internal_gbps: float = 1.0):
+        if internal_gbps <= 0:
+            raise ValueError("internal capacity must be positive")
+        self.site_id = site_id
+        #: Shared switch capacity for all intra-site transfers.
+        self.switch = Resource(f"lan:{site_id}", mbps(internal_gbps * 1000.0))
+        self.member_guids: set[str] = set()
+
+    def add_member(self, guid: str) -> None:
+        """Record a peer as belonging to this site."""
+        self.member_guids.add(guid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LanSite {self.site_id} members={len(self.member_guids)}>"

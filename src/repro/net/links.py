@@ -1,0 +1,149 @@
+"""Access-link models: asymmetric residential broadband and edge capacity.
+
+The paper attributes the peer-assisted speed gap (Figure 4) to the asymmetry
+of residential broadband — fast downstream, slow upstream [Dischinger et al.,
+IMC 2007].  We model each peer's access link as a pair of
+:class:`~repro.net.flows.Resource` objects (one per direction) whose
+capacities are sampled from a tiered broadband distribution, and each edge
+server as a single high-capacity egress resource.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.flows import Resource
+
+__all__ = ["AccessLink", "BroadbandTier", "BroadbandModel", "EdgeCapacityModel",
+           "DEFAULT_BROADBAND_TIERS", "mbps"]
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to the bytes/second used by the flow model."""
+    return value * 1e6 / 8.0
+
+
+@dataclass(frozen=True)
+class BroadbandTier:
+    """One access-technology tier in the broadband mix.
+
+    ``down_mbps``/``up_mbps`` are (low, high) ranges sampled log-uniformly,
+    which matches the long-tailed speed distributions seen in residential
+    measurements better than a uniform draw.
+    """
+
+    name: str
+    weight: float
+    down_mbps: tuple[float, float]
+    up_mbps: tuple[float, float]
+
+
+#: A broadband mix loosely calibrated to the 2012-era populations the paper
+#: measured: a DSL bulk, a cable middle class, a fast-fiber minority, and a
+#: slow long tail (mobile/legacy links).  Asymmetry ratios of roughly 4-20x
+#: reproduce the upstream bottleneck that shapes Figures 4-6.
+DEFAULT_BROADBAND_TIERS: tuple[BroadbandTier, ...] = (
+    BroadbandTier("dsl", 0.40, (2.0, 16.0), (0.4, 1.5)),
+    BroadbandTier("cable", 0.35, (8.0, 50.0), (1.0, 5.0)),
+    BroadbandTier("fiber", 0.10, (50.0, 200.0), (10.0, 100.0)),
+    BroadbandTier("slow", 0.15, (0.5, 2.0), (0.1, 0.5)),
+)
+
+
+@dataclass
+class AccessLink:
+    """A peer's access link: one Resource per direction plus tier metadata."""
+
+    downlink: Resource
+    uplink: Resource
+    tier: str
+
+    @property
+    def down_bps(self) -> float:
+        """Downstream capacity in bytes/second."""
+        assert self.downlink.capacity is not None
+        return self.downlink.capacity
+
+    @property
+    def up_bps(self) -> float:
+        """Upstream capacity in bytes/second."""
+        assert self.uplink.capacity is not None
+        return self.uplink.capacity
+
+    @property
+    def asymmetry(self) -> float:
+        """Downstream/upstream capacity ratio."""
+        return self.down_bps / self.up_bps
+
+
+class BroadbandModel:
+    """Samples peer access links from a weighted tier mix.
+
+    Country-level speed multipliers let the population layer give, say,
+    fiber-heavy countries faster links — which the paper's Figure 4 exploits
+    by comparing two specific large ASes.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        tiers: tuple[BroadbandTier, ...] = DEFAULT_BROADBAND_TIERS,
+    ):
+        if not tiers:
+            raise ValueError("broadband model needs at least one tier")
+        total = sum(t.weight for t in tiers)
+        if total <= 0:
+            raise ValueError("tier weights must sum to a positive value")
+        self._rng = rng
+        self._tiers = tiers
+        self._weights = [t.weight / total for t in tiers]
+
+    def sample(self, owner: str, speed_multiplier: float = 1.0) -> AccessLink:
+        """Draw an access link for peer ``owner``.
+
+        ``speed_multiplier`` scales both directions (used for per-country or
+        per-AS speed differences).
+        """
+        if speed_multiplier <= 0:
+            raise ValueError(f"speed multiplier must be positive, got {speed_multiplier}")
+        tier = self._rng.choices(self._tiers, weights=self._weights, k=1)[0]
+        down = _log_uniform(self._rng, *tier.down_mbps) * speed_multiplier
+        up = _log_uniform(self._rng, *tier.up_mbps) * speed_multiplier
+        # Upstream never exceeds downstream on residential links.
+        up = min(up, down)
+        return AccessLink(
+            downlink=Resource(f"{owner}/down", mbps(down)),
+            uplink=Resource(f"{owner}/up", mbps(up)),
+            tier=tier.name,
+        )
+
+
+class EdgeCapacityModel:
+    """Creates egress-capacity resources for edge servers.
+
+    Akamai edge servers are well provisioned; the default of 10 Gbit/s per
+    server means the infrastructure is effectively never the bottleneck for
+    an individual download — matching the paper's observation that edge-only
+    downloads run at client line rate.
+    """
+
+    def __init__(self, egress_mbps: float = 10_000.0):
+        if egress_mbps <= 0:
+            raise ValueError(f"edge egress must be positive, got {egress_mbps}")
+        self.egress_mbps = egress_mbps
+
+    def make_resource(self, server_name: str) -> Resource:
+        """Create the egress Resource for one edge server."""
+        return Resource(f"edge:{server_name}/egress", mbps(self.egress_mbps))
+
+
+def _log_uniform(rng: random.Random, low: float, high: float) -> float:
+    """Sample log-uniformly from [low, high]."""
+    import math
+
+    if low <= 0 or high < low:
+        raise ValueError(f"invalid log-uniform range [{low}, {high}]")
+    if high == low:
+        return low
+    return math.exp(rng.uniform(math.log(low), math.log(high)))

@@ -1,0 +1,192 @@
+"""Discrete-event simulation engine.
+
+The whole reproduction runs on simulated time: the control plane, the edge
+servers, the peers, and the fluid bandwidth model are all driven by a single
+:class:`Simulator` event loop.  The engine is intentionally small — a binary
+heap of timestamped callbacks plus a handful of conveniences (recurring
+timers, cancellable events, a monotonic tiebreaker so same-time events fire
+in scheduling order).
+
+Time is a ``float`` number of seconds since the start of the simulated trace.
+Nothing in the engine knows about wall-clock dates; the workload layer maps
+simulated seconds onto calendar days when it needs diurnal patterns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be cancelled
+    with :meth:`cancel`.  A cancelled event stays in the heap but is skipped
+    when popped; this makes cancellation O(1).
+    """
+
+    __slots__ = ("time", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Event t={self.time:.3f} {state}>"
+
+
+class Simulator:
+    """A minimal discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback
+        to run after the currently executing event (same timestamp).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.3f}s in the past")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.3f} (now is t={self._now:.3f})"
+            )
+        event = Event(time, callback)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), event))
+        return event
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Event:
+        """Schedule ``callback`` to run every ``interval`` seconds.
+
+        Returns the Event for the *next* occurrence; cancelling it stops the
+        recurrence.  The same Event object is reused for each tick so a held
+        reference stays valid across occurrences.
+        """
+        if interval <= 0:
+            raise SimulationError(f"recurring interval must be positive, got {interval}")
+        delay = interval if first_delay is None else first_delay
+
+        event = Event(self._now + delay, lambda: None)
+
+        def tick() -> None:
+            callback()
+            next_time = self._now + interval
+            if until is not None and next_time > until:
+                return
+            if event.cancelled:
+                return
+            event.time = next_time
+            event.fired = False
+            heapq.heappush(self._queue, _QueueEntry(next_time, next(self._seq), event))
+
+        event.callback = tick
+        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events in timestamp order.
+
+        Stops when the queue is empty, when the next event is later than
+        ``until``, after ``max_events`` events, or when :meth:`stop` is
+        called from within a callback.  When ``until`` is given, the clock
+        is advanced to ``until`` even if no event lands exactly there.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                event = entry.event
+                if event.cancelled or event.fired:
+                    continue
+                self._now = entry.time
+                event.fired = True
+                event.callback()
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def pending_count(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for e in self._queue if e.event.pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.3f} queued={len(self._queue)}>"

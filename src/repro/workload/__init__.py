@@ -1,0 +1,25 @@
+"""Workload substrate: population, catalog, demand, behaviour, mobility, cloning.
+
+The entry point is :func:`repro.workload.run_scenario`, which turns a
+:class:`ScenarioConfig` into a finished synthetic trace.
+"""
+
+from repro.workload.behavior import BehaviorConfig, UserBehavior
+from repro.workload.catalog import Catalog, CatalogConfig, PAPER_CUSTOMERS, build_catalog
+from repro.workload.cloning import CloningConfig, CloningModel
+from repro.workload.demand import DemandConfig, DemandGenerator
+from repro.workload.mobility import MobilityConfig, MobilityModel
+from repro.workload.population import (
+    DAY, Population, PopulationConfig, build_population, diurnal_rate,
+)
+from repro.workload.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+__all__ = [
+    "ScenarioConfig", "ScenarioResult", "run_scenario",
+    "Catalog", "CatalogConfig", "build_catalog", "PAPER_CUSTOMERS",
+    "Population", "PopulationConfig", "build_population", "diurnal_rate", "DAY",
+    "DemandConfig", "DemandGenerator",
+    "BehaviorConfig", "UserBehavior",
+    "MobilityConfig", "MobilityModel",
+    "CloningConfig", "CloningModel",
+]

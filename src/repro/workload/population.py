@@ -1,0 +1,208 @@
+"""Peer population synthesis.
+
+Creates the installed base: peers distributed over countries/ASes per the
+world model (Figure 2's geography), each bundled by one of the content
+providers (which sets the Table 4 upload default), with a small fraction of
+*broken* machines (high piece-corruption rate) and *attackers* (accounting
+misreporters) to exercise the §6.2 robustness machinery.
+
+Also drives the **online-session process**: NetSession runs whenever the
+user is logged in (§3.4), so sessions track the user's computer-use day —
+long daily sessions with a diurnal phase per timezone, unlike the short
+sessions of launch-on-demand p2p clients.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.content import ContentProvider
+from repro.core.peer import PeerNode
+from repro.core.system import NetSessionSystem
+from repro.net.lan import LanSite
+
+__all__ = ["PopulationConfig", "Population", "build_population", "diurnal_rate"]
+
+DAY = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs for population synthesis and the online-session process."""
+
+    n_peers: int = 2000
+    #: Fraction of machines with a fault that corrupts uploaded pieces.
+    broken_fraction: float = 0.002
+    #: Piece-corruption probability on broken machines.
+    broken_corruption_prob: float = 0.25
+    #: Fraction of peers running a client modified to misreport usage.
+    attacker_fraction: float = 0.0
+    #: Mean hours per day a user's machine is on (and NetSession running).
+    mean_daily_uptime_hours: float = 10.0
+    #: Probability a peer is effectively always-on (desktops left running).
+    always_on_fraction: float = 0.15
+    #: Fraction of peers that sit in corporate LAN sites (§5.3's case —
+    #: "rare" in the paper's 2012 trace, so zero by default).
+    corporate_fraction: float = 0.0
+    #: Site size range (machines per office), inclusive.
+    site_size_range: tuple[int, int] = (8, 40)
+
+    def __post_init__(self):
+        if self.n_peers <= 0:
+            raise ValueError("n_peers must be positive")
+        if not 0 <= self.broken_fraction <= 1:
+            raise ValueError("broken_fraction must be in [0, 1]")
+        if not 0 < self.mean_daily_uptime_hours <= 24:
+            raise ValueError("mean_daily_uptime_hours must be in (0, 24]")
+
+
+@dataclass
+class Population:
+    """The installed base plus per-peer session schedules."""
+
+    peers: list[PeerNode]
+    #: Local-midnight offset (seconds) per peer, derived from longitude.
+    tz_offset: dict[str, float]
+    always_on: set[str]
+    #: Corporate LAN sites, keyed by site id (§5.3 extension).
+    sites: dict[str, "LanSite"] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.sites is None:
+            self.sites = {}
+
+    def peer_count(self) -> int:
+        """Number of installations."""
+        return len(self.peers)
+
+
+def build_population(
+    system: NetSessionSystem,
+    providers: list[ContentProvider],
+    config: PopulationConfig | None = None,
+) -> Population:
+    """Create peers and schedule their daily online sessions.
+
+    Each peer is attributed to the provider it first installed from,
+    weighted by that provider's share of downloads — so the Table 4
+    upload-default mix emerges naturally.
+    """
+    cfg = config if config is not None else PopulationConfig()
+    rng = random.Random(system.rng.getrandbits(64))
+    peers: list[PeerNode] = []
+    tz_offset: dict[str, float] = {}
+    always_on: set[str] = set()
+
+    for _ in range(cfg.n_peers):
+        installed_from = rng.choice(providers) if providers else None
+        peer = system.create_peer(installed_from=installed_from)
+        if rng.random() < cfg.broken_fraction:
+            peer.piece_corruption_prob = cfg.broken_corruption_prob
+        if rng.random() < cfg.attacker_fraction:
+            peer.accounting_attacker = True
+        peers.append(peer)
+        # Local solar time from longitude: 15 degrees per hour.
+        tz_offset[peer.guid] = (peer.city.lon / 15.0) * 3600.0
+        if rng.random() < cfg.always_on_fraction:
+            always_on.add(peer.guid)
+
+    population = Population(peers=peers, tz_offset=tz_offset, always_on=always_on)
+    _assign_corporate_sites(population, cfg, rng)
+    _schedule_sessions(system, population, cfg, rng)
+    return population
+
+
+def _assign_corporate_sites(population: Population, cfg: PopulationConfig,
+                            rng: random.Random) -> None:
+    """Group a slice of the population into same-city LAN sites (§5.3).
+
+    Site members must share a physical location, so peers are bucketed by
+    (country, city, AS) and sites carved out of the buckets.
+    """
+    if cfg.corporate_fraction <= 0:
+        return
+    target = int(round(cfg.corporate_fraction * len(population.peers)))
+    buckets: dict[tuple[str, str, int], list[PeerNode]] = {}
+    for peer in population.peers:
+        key = (peer.country_code, peer.city.name, peer.asn)
+        buckets.setdefault(key, []).append(peer)
+
+    placed = 0
+    site_index = 0
+    for key in sorted(buckets, key=lambda k: -len(buckets[k])):
+        if placed >= target:
+            break
+        pool = buckets[key]
+        lo, hi = cfg.site_size_range
+        while len(pool) >= lo and placed < target:
+            size = min(len(pool), rng.randint(lo, hi), target - placed + lo)
+            members, pool[:] = pool[:size], pool[size:]
+            site = LanSite(f"site-{site_index:04d}")
+            site_index += 1
+            for member in members:
+                member.lan = site
+                site.add_member(member.guid)
+            population.sites[site.site_id] = site
+            placed += len(members)
+
+
+def _schedule_sessions(
+    system: NetSessionSystem,
+    population: Population,
+    cfg: PopulationConfig,
+    rng: random.Random,
+) -> None:
+    """Schedule boot/shutdown cycles for every peer.
+
+    Always-on peers boot once.  Daily-cycle peers boot each local morning
+    (with jitter) and shut down after a sampled uptime; a small per-day skip
+    probability models days the machine stays off.
+    """
+    sim = system.sim
+    for peer in population.peers:
+        if peer.guid in population.always_on:
+            sim.schedule(rng.uniform(0, 3600.0), peer.boot)
+            continue
+        offset = population.tz_offset[peer.guid]
+        uptime_mean = cfg.mean_daily_uptime_hours * 3600.0
+        _schedule_peer_days(system, peer, offset, uptime_mean, rng)
+
+
+def _schedule_peer_days(
+    system: NetSessionSystem,
+    peer: PeerNode,
+    tz_offset: float,
+    uptime_mean: float,
+    rng: random.Random,
+    *,
+    horizon_days: int = 40,
+) -> None:
+    sim = system.sim
+    for day in range(horizon_days):
+        if rng.random() < 0.12:
+            continue  # machine stays off today
+        # Local morning start: 8am ± 2h, mapped back to simulation (UTC) time.
+        local_start = day * DAY + rng.gauss(8.0, 2.0) * 3600.0
+        start = local_start - tz_offset
+        if start < sim.now:
+            continue
+        uptime = max(1800.0, rng.expovariate(1.0 / uptime_mean))
+        uptime = min(uptime, 23.0 * 3600.0)
+        sim.schedule_at(start, peer.boot)
+        sim.schedule_at(start + uptime, peer.go_offline)
+
+
+def diurnal_rate(t: float, tz_offset: float = 0.0) -> float:
+    """Relative activity level at simulated time ``t`` for a timezone.
+
+    A smooth day curve peaking in the local evening (~20:00) and bottoming
+    early morning (~04:00), as in Figure 3(c)'s diurnal download pattern.
+    Returns a multiplier in [0.15, 1.0].
+    """
+    local = (t + tz_offset) % DAY
+    hours = local / 3600.0
+    # Cosine with peak at 20h.
+    phase = math.cos((hours - 20.0) / 24.0 * 2.0 * math.pi)
+    return 0.575 + 0.425 * phase

@@ -1,0 +1,225 @@
+"""Scenario driver: one call builds and runs a complete synthetic trace.
+
+This is the reproduction's equivalent of "operate NetSession for a month
+and collect the logs" (paper §4.1).  A :class:`ScenarioConfig` fixes every
+knob (population size, catalog, demand volume, behaviour, mobility,
+cloning, seed); :func:`run_scenario` assembles the system, schedules the
+workload, runs the simulator, finalizes dangling downloads, and returns a
+:class:`ScenarioResult` whose log store and geo database are what the
+analysis layer consumes.
+
+Scale is a parameter: benchmarks use small populations (seconds of wall
+time), examples use medium ones.  The *shapes* the paper reports are
+scale-stable; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.logstore import LogStore
+from repro.core.config import SystemConfig
+from repro.core.peer import CacheEntry
+from repro.core.system import NetSessionSystem
+from repro.net.geo import GeoDatabase, World, build_core_world
+from repro.net.topology import ASTopology, build_topology
+from repro.workload.behavior import BehaviorConfig, UserBehavior
+from repro.workload.catalog import Catalog, CatalogConfig, build_catalog
+from repro.workload.cloning import CloningConfig, CloningModel
+from repro.workload.demand import DemandConfig, DemandGenerator
+from repro.workload.mobility import MobilityConfig, MobilityModel
+from repro.workload.population import DAY, Population, PopulationConfig, build_population
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything that defines one synthetic trace."""
+
+    seed: int = 42
+    duration_days: float = 7.0
+    #: Extra synthetic territories appended to the core world (Table 1's
+    #: "239 countries and territories" needs a padded world; most scenarios
+    #: don't).
+    extra_territories: int = 0
+    system: SystemConfig = field(default_factory=SystemConfig)
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    catalog: CatalogConfig = field(default_factory=CatalogConfig)
+    demand: DemandConfig | None = None
+    behavior: BehaviorConfig = field(default_factory=BehaviorConfig)
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
+    cloning: CloningConfig = field(default_factory=CloningConfig)
+    #: Ablation switch: random instead of locality-aware peer selection.
+    locality_aware_selection: bool = True
+    #: Extension (paper's explicit non-feature, §5.2): run the predictive
+    #: placement policy that prefetches hot objects into thin regions.
+    predictive_placement: bool = False
+    #: When set, every peer's initial uploads-enabled setting is re-drawn
+    #: with this probability, overriding the per-provider Table 4 mix —
+    #: the "what if every customer shipped like Customer D" sweep lever.
+    upload_rate_override: float | None = None
+    #: Warm start: expected number of pre-trace cached copies per peer.  The
+    #: paper's October 2012 window opens on a five-year-old deployment whose
+    #: peers already hold popular content; a cold start would understate
+    #: peer efficiency for the whole first half of the trace.  Copies are
+    #: assigned popularity-proportionally across p2p-enabled objects.
+    warm_copies_per_peer: float = 4.0
+
+    def resolved_demand(self) -> DemandConfig:
+        """The demand config, defaulting the duration to the scenario's."""
+        if self.demand is not None:
+            return self.demand
+        return DemandConfig(duration_days=self.duration_days)
+
+
+@dataclass
+class ScenarioResult:
+    """A finished run: the system and everything the analyses need."""
+
+    config: ScenarioConfig
+    system: NetSessionSystem
+    population: Population
+    catalog: Catalog
+    behavior: UserBehavior
+    mobility_census: dict[str, int]
+    cloning_census: dict[str, int]
+    finalized_downloads: int
+
+    @property
+    def logstore(self) -> LogStore:
+        """The trace (downloads / logins / registrations)."""
+        return self.system.logstore
+
+    @property
+    def geodb(self) -> GeoDatabase:
+        """The EdgeScape-equivalent geolocation data set."""
+        return self.system.geodb
+
+    @property
+    def topology(self) -> ASTopology:
+        """The synthetic AS-level topology (the CAIDA substitute)."""
+        return self.system.topology
+
+    @property
+    def world(self) -> World:
+        """The synthetic world geography."""
+        return self.system.world
+
+
+def seed_warm_caches(
+    system: NetSessionSystem,
+    population: Population,
+    catalog: Catalog,
+    copies_per_peer: float,
+    rng: random.Random,
+) -> int:
+    """Pre-populate caches with popularity-weighted copies of p2p objects.
+
+    Models the installed base at the start of the trace window: peers who
+    downloaded popular content *before* the trace began and still cache it.
+    Registration with the control plane happens naturally at each peer's
+    first login.  Returns the number of copies seeded.
+    """
+    p2p_objects = catalog.p2p_objects()
+    if not p2p_objects or copies_per_peer <= 0:
+        return 0
+    weights = [
+        catalog.weights[catalog.objects.index(obj)] for obj in p2p_objects
+    ]
+    by_cp: dict[int, list] = {}
+    for peer in population.peers:
+        by_cp.setdefault(peer.installed_from_cp, []).append(peer)
+    total = int(round(copies_per_peer * len(population.peers)))
+    #: Leave headroom in every provider pool so in-trace demand still finds
+    #: peers who don't already hold the flagship objects.
+    saturation_cap = 0.6
+    seeded_per_obj: dict[str, int] = {}
+    seeded = 0
+    for _ in range(total):
+        obj = rng.choices(p2p_objects, weights=weights, k=1)[0]
+        # Holders of a provider's content are mostly that provider's own
+        # installs (see DemandConfig.install_affinity).
+        pool = by_cp.get(obj.provider.cp_code)
+        if pool and seeded_per_obj.get(obj.cid, 0) >= saturation_cap * len(pool):
+            pool = population.peers
+        elif not pool or rng.random() >= 0.8:
+            pool = population.peers
+        peer = rng.choice(pool)
+        if peer.has_complete(obj.cid):
+            continue
+        seeded_per_obj[obj.cid] = seeded_per_obj.get(obj.cid, 0) + 1
+        peer.cache[obj.cid] = CacheEntry(cid=obj.cid, completed_at=0.0)
+        retention = system.config.client.cache_retention
+        system.sim.schedule(
+            rng.uniform(0.3, 1.0) * retention,
+            lambda p=peer, c=obj.cid: p._evict(c),
+        )
+        seeded += 1
+    return seeded
+
+
+def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
+    """Build, run, and finalize one synthetic trace."""
+    cfg = config if config is not None else ScenarioConfig()
+
+    world = build_core_world(extra_territories=cfg.extra_territories, seed=cfg.seed)
+    topology = build_topology(world, random.Random(cfg.seed ^ 0x70_70))
+    system = NetSessionSystem(
+        cfg.system,
+        seed=cfg.seed,
+        world=world,
+        topology=topology,
+        locality_aware_selection=cfg.locality_aware_selection,
+    )
+
+    catalog = build_catalog(random.Random(cfg.seed ^ 0xCA7), cfg.catalog)
+    for provider in catalog.providers:
+        system.register_provider(provider)
+    for obj in catalog.objects:
+        system.publish(obj)
+
+    population = build_population(system, catalog.providers, cfg.population)
+    if cfg.upload_rate_override is not None:
+        override_rng = random.Random(cfg.seed ^ 0x0FF)
+        for peer in population.peers:
+            peer.uploads_enabled = (
+                override_rng.random() < cfg.upload_rate_override
+            )
+    seed_warm_caches(system, population, catalog, cfg.warm_copies_per_peer,
+                     random.Random(cfg.seed ^ 0x5EED))
+
+    behavior = UserBehavior(system, cfg.behavior)
+    behavior.schedule_setting_changes(population, cfg.duration_days)
+    behavior.schedule_link_busy_periods(population, cfg.duration_days)
+
+    mobility = MobilityModel(system, cfg.mobility)
+    mobility_census = mobility.apply(population, cfg.duration_days)
+
+    cloning = CloningModel(system, cfg.cloning)
+    cloning_census = cloning.apply(population, cfg.duration_days)
+
+    demand = DemandGenerator(system, population, catalog, cfg.resolved_demand())
+    demand.on_session_started = behavior.attach
+    demand.schedule_all()
+
+    if cfg.predictive_placement:
+        from repro.core.placement import PredictivePlacer
+
+        placer = PredictivePlacer(system, catalog.objects)
+        placer.start()
+
+    system.run(until=cfg.duration_days * DAY)
+    finalized = system.finalize_open_downloads()
+
+    return ScenarioResult(
+        config=cfg,
+        system=system,
+        population=population,
+        catalog=catalog,
+        behavior=behavior,
+        mobility_census=mobility_census,
+        cloning_census=cloning_census,
+        finalized_downloads=finalized,
+    )

@@ -1,0 +1,209 @@
+"""Tests for the §5 analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.benefits import (
+    busiest_ases, figure4_speed_cdfs, figure5_efficiency_vs_copies,
+    figure6_efficiency_vs_peers, figure7_pause_rates,
+    figure8_country_contributions, offload_summary, reliability_outcomes,
+    table3_setting_changes, table4_upload_enabled_by_provider,
+)
+from repro.analysis.logstore import LogStore
+from repro.analysis.records import DownloadRecord, LoginRecord, RegistrationRecord
+from repro.net.geo import GeoDatabase, GeoRecord
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+
+
+def dl(guid="g1", cid="c1", url=None, p2p=True, outcome="completed",
+       edge=40, peer=60, size=100, ip="", peers_returned=0, t0=0.0, t1=10.0,
+       cp=1, per_uploader=None):
+    return DownloadRecord(
+        guid=guid, url=url if url else cid, cid=cid, cp_code=cp, size=size,
+        started_at=t0, ended_at=t1, edge_bytes=edge, peer_bytes=peer,
+        p2p_enabled=p2p, outcome=outcome, ip=ip,
+        peers_initially_returned=peers_returned,
+        per_uploader_bytes=per_uploader or {},
+    )
+
+
+def login(guid="g1", ip="ip1", t=0.0, uploads=True, version="ns-3.6-cp0"):
+    return LoginRecord(guid=guid, ip=ip, timestamp=t,
+                       software_version=version, uploads_enabled=uploads)
+
+
+class TestOffloadSummary:
+    def test_counts_files_and_bytes(self):
+        store = LogStore()
+        store.add_download(dl(cid="p2p1", p2p=True, edge=30, peer=70, size=100))
+        store.add_download(dl(cid="infra1", p2p=False, edge=100, peer=0))
+        summary = offload_summary(store)
+        assert summary.p2p_file_fraction == 0.5
+        assert summary.p2p_byte_share == 0.5
+        assert summary.mean_peer_efficiency == 0.7
+
+    def test_incomplete_downloads_excluded_from_bytes(self):
+        store = LogStore()
+        store.add_download(dl(outcome="aborted", edge=5, peer=5))
+        summary = offload_summary(store)
+        assert summary.p2p_byte_share == 0.0
+        assert summary.mean_peer_efficiency == 0.0
+
+    def test_empty_store(self):
+        summary = offload_summary(LogStore())
+        assert summary.p2p_file_fraction == 0.0
+
+
+class TestTable3:
+    def test_change_counting(self):
+        store = LogStore()
+        store.add_login(login(guid="never", uploads=True, t=0))
+        store.add_login(login(guid="never", uploads=True, t=1))
+        store.add_login(login(guid="once", uploads=True, t=0))
+        store.add_login(login(guid="once", uploads=False, t=1))
+        store.add_login(login(guid="twice", uploads=False, t=0))
+        store.add_login(login(guid="twice", uploads=True, t=1))
+        store.add_login(login(guid="twice", uploads=False, t=2))
+        table = table3_setting_changes(store)
+        assert table["enabled"]["nodes"] == 2
+        assert table["enabled"]["0"] == 0.5
+        assert table["enabled"]["1"] == 0.5
+        assert table["disabled"]["2+"] == 1.0
+
+
+class TestTable4:
+    def test_attribution_by_version_string(self):
+        store = LogStore()
+        store.add_login(login(guid="a", uploads=True, version="ns-3.6-cp1004"))
+        store.add_login(login(guid="b", uploads=False, version="ns-3.6-cp1004"))
+        table = table4_upload_enabled_by_provider(store)
+        assert table[1004] == 0.5
+
+    def test_fallback_to_first_download(self):
+        store = LogStore()
+        store.add_login(login(guid="a", uploads=True, version="custom"))
+        store.add_download(dl(guid="a", cp=1007))
+        table = table4_upload_enabled_by_provider(store)
+        assert table[1007] == 1.0
+
+
+class TestFigure4:
+    def make_geo(self):
+        geodb = GeoDatabase()
+        for ip, asn in (("x1", 10), ("x2", 10), ("y1", 20)):
+            geodb.register(ip, GeoRecord("DE", "Europe", "B", 50, 8, "UTC",
+                                         "isp", asn))
+        return geodb
+
+    def test_busiest_ases_ranked(self):
+        geodb = self.make_geo()
+        store = LogStore()
+        store.add_download(dl(guid="a", ip="x1"))
+        store.add_download(dl(guid="b", ip="x2"))
+        store.add_download(dl(guid="c", ip="y1"))
+        assert busiest_ases(store, geodb, n=2) == [10, 20]
+
+    def test_speed_classes_split(self):
+        geodb = self.make_geo()
+        store = LogStore()
+        # Edge-only download at 10 MB/s, p2p-heavy at 2 MB/s.
+        store.add_download(dl(guid="a", ip="x1", edge=100 * MB, peer=0,
+                              t0=0, t1=10))
+        store.add_download(dl(guid="b", ip="x2", edge=4 * MB, peer=16 * MB,
+                              t0=0, t1=10))
+        cdfs = figure4_speed_cdfs(store, geodb, asn=10)
+        assert len(cdfs["edge_only"]) == 1
+        assert len(cdfs["p2p_heavy"]) == 1
+        assert cdfs["edge_only"][0][0] > cdfs["p2p_heavy"][0][0]
+
+    def test_minor_peer_share_not_p2p_heavy(self):
+        geodb = self.make_geo()
+        store = LogStore()
+        store.add_download(dl(guid="a", ip="x1", edge=90, peer=10))
+        cdfs = figure4_speed_cdfs(store, geodb, asn=10)
+        assert cdfs["edge_only"] == []
+        assert cdfs["p2p_heavy"] == []
+
+
+class TestFigure56:
+    def test_efficiency_rises_with_copies(self):
+        store = LogStore()
+        # File A: 2 registered copies, low efficiency.
+        store.add_registration(RegistrationRecord("s1", "A", 0.0, "eu"))
+        store.add_registration(RegistrationRecord("s2", "A", 0.0, "eu"))
+        store.add_download(dl(cid="A", edge=90, peer=10))
+        # File B: many copies, high efficiency.
+        for i in range(40):
+            store.add_registration(RegistrationRecord(f"s{i}", "B", 0.0, "eu"))
+        store.add_download(dl(cid="B", edge=10, peer=90))
+        rows = figure5_efficiency_vs_copies(store)
+        assert len(rows) == 2
+        assert rows[0][1] < rows[-1][1]
+
+    def test_registration_dedupe_by_guid(self):
+        store = LogStore()
+        for _ in range(5):  # same peer re-registering
+            store.add_registration(RegistrationRecord("s1", "A", 0.0, "eu"))
+        store.add_download(dl(cid="A"))
+        rows = figure5_efficiency_vs_copies(store)
+        # 1 distinct copy -> first bin [1, 3).
+        assert rows[0][0] < 3
+
+    def test_figure6_groups_by_peers_returned(self):
+        store = LogStore()
+        store.add_download(dl(peers_returned=0, edge=100, peer=0))
+        store.add_download(dl(peers_returned=10, edge=20, peer=80))
+        rows = figure6_efficiency_vs_peers(store)
+        assert rows[0] == (0, 0.0, 1)
+        assert rows[1][0] == 10
+        assert rows[1][1] == pytest.approx(0.8)
+
+
+class TestFigure7AndReliability:
+    def test_pause_rates_by_size(self):
+        store = LogStore()
+        store.add_download(dl(p2p=False, size=MB, outcome="completed"))
+        store.add_download(dl(p2p=False, size=2 * GB, outcome="aborted"))
+        store.add_download(dl(p2p=True, size=2 * GB, outcome="completed"))
+        rates = figure7_pause_rates(store)
+        assert rates["infrastructure"]["<10MB"] == 0.0
+        assert rates["infrastructure"][">1GB"] == 1.0
+        assert rates["peer_assisted"][">1GB"] == 0.0
+
+    def test_reliability_split(self):
+        store = LogStore()
+        store.add_download(dl(p2p=True, outcome="completed"))
+        store.add_download(dl(p2p=True, outcome="aborted"))
+        store.add_download(DownloadRecord(
+            guid="g", url="u", cid="c", cp_code=1, size=10, started_at=0,
+            ended_at=1, edge_bytes=0, peer_bytes=0, p2p_enabled=True,
+            outcome="failed", failure_class="system"))
+        out = reliability_outcomes(store)["peer_assisted"]
+        assert out["completed"] == pytest.approx(1 / 3)
+        assert out["aborted"] == pytest.approx(1 / 3)
+        assert out["failed_system"] == pytest.approx(1 / 3)
+
+
+class TestFigure8:
+    def test_country_classes(self):
+        geodb = GeoDatabase()
+        geodb.register("de", GeoRecord("DE", "Europe", "B", 50, 8, "UTC", "i", 1))
+        geodb.register("ke", GeoRecord("KE", "Africa", "N", -1, 36, "UTC", "i", 2))
+        store = LogStore()
+        store.add_download(dl(ip="de", edge=90, peer=10))
+        store.add_download(dl(ip="ke", edge=10, peer=90))
+        classes = figure8_country_contributions(store, geodb)
+        assert classes["DE"] == "infra"
+        assert classes["KE"] == "peers_major"
+
+    def test_provider_filter(self):
+        geodb = GeoDatabase()
+        geodb.register("de", GeoRecord("DE", "Europe", "B", 50, 8, "UTC", "i", 1))
+        store = LogStore()
+        store.add_download(dl(ip="de", cp=1, edge=90, peer=10))
+        store.add_download(dl(ip="de", cp=2, edge=0, peer=100))
+        classes = figure8_country_contributions(store, geodb, cp_code=2)
+        assert classes["DE"] == "peers_major"

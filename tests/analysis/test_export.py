@@ -1,0 +1,107 @@
+"""Tests for anonymized trace export/import."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import Anonymizer, export_trace, import_trace
+from repro.analysis.logstore import LogStore
+from repro.analysis.records import DownloadRecord, LoginRecord, RegistrationRecord
+from repro.net.geo import GeoDatabase, GeoRecord
+
+
+@pytest.fixture
+def trace():
+    logs = LogStore()
+    geodb = GeoDatabase()
+    geodb.register("10.0.0.1", GeoRecord("DE", "Europe", "Berlin", 52.5, 13.4,
+                                         "UTC", "isp-1", 1100))
+    geodb.register("10.0.0.2", GeoRecord("FR", "Europe", "Paris", 48.9, 2.3,
+                                         "UTC", "isp-2", 1200))
+    logs.add_login(LoginRecord("guid-A", "10.0.0.1", 1.0, "ns-3.6-cp1001",
+                               True, ("s2", "s1")))
+    logs.add_login(LoginRecord("guid-B", "10.0.0.2", 2.0, "ns-3.6-cp1002",
+                               False))
+    logs.add_download(DownloadRecord(
+        guid="guid-A", url="prov/file.bin", cid="cid-1", cp_code=1001,
+        size=1000, started_at=3.0, ended_at=13.0, edge_bytes=400,
+        peer_bytes=600, p2p_enabled=True, outcome="completed",
+        ip="10.0.0.1", peers_initially_returned=5,
+        per_uploader_bytes={"guid-B": 600}))
+    logs.add_registration(RegistrationRecord("guid-A", "cid-1", 14.0, "eu"))
+    return logs, geodb
+
+
+class TestAnonymizer:
+    def test_consistent_within_salt(self):
+        anon = Anonymizer("s1")
+        assert anon.token("guid", "x") == anon.token("guid", "x")
+
+    def test_namespaced(self):
+        anon = Anonymizer("s1")
+        assert anon.token("guid", "x") != anon.token("ip", "x")
+
+    def test_different_salts_unlinkable(self):
+        assert Anonymizer("s1").token("guid", "x") != Anonymizer("s2").token("guid", "x")
+
+    def test_empty_passthrough(self):
+        assert Anonymizer().token("ip", "") == ""
+
+
+class TestRoundTrip:
+    def test_counts(self, trace, tmp_path):
+        logs, geodb = trace
+        counts = export_trace(logs, geodb, tmp_path)
+        assert counts == {"downloads": 1, "logins": 2, "registrations": 1,
+                          "geolocation": 2}
+
+    def test_raw_identifiers_absent_from_files(self, trace, tmp_path):
+        logs, geodb = trace
+        export_trace(logs, geodb, tmp_path)
+        blob = "".join(p.read_text() for p in tmp_path.glob("*.jsonl"))
+        for secret in ("guid-A", "guid-B", "10.0.0.1", "prov/file.bin", "s1"):
+            assert secret not in blob
+
+    def test_joins_survive_roundtrip(self, trace, tmp_path):
+        logs, geodb = trace
+        export_trace(logs, geodb, tmp_path)
+        logs2, geodb2 = import_trace(tmp_path)
+        # download -> geo join
+        rec = logs2.downloads[0]
+        geo = geodb2.get(rec.ip)
+        assert geo is not None and geo.country_code == "DE"
+        # download.per_uploader -> login join
+        uploader = next(iter(rec.per_uploader_bytes))
+        assert uploader in logs2.logins_by_guid()
+
+    def test_analyses_run_on_reimport(self, trace, tmp_path):
+        from repro.analysis import mobility_summary, offload_summary, table1_overall_statistics
+        logs, geodb = trace
+        export_trace(logs, geodb, tmp_path)
+        logs2, geodb2 = import_trace(tmp_path)
+        assert offload_summary(logs2).mean_peer_efficiency == pytest.approx(0.6)
+        stats = table1_overall_statistics(logs2, geodb2)
+        assert stats.guids == 2
+        assert mobility_summary(logs2, geodb2).guids == 2
+
+    def test_values_preserved(self, trace, tmp_path):
+        logs, geodb = trace
+        export_trace(logs, geodb, tmp_path)
+        logs2, _ = import_trace(tmp_path)
+        rec = logs2.downloads[0]
+        assert rec.size == 1000
+        assert rec.edge_bytes == 400
+        assert rec.peer_bytes == 600
+        assert rec.outcome == "completed"
+        login = logs2.logins[0]
+        assert login.software_version == "ns-3.6-cp1001"
+        assert len(login.secondary_guids) == 2
+
+    def test_jsonl_is_valid(self, trace, tmp_path):
+        logs, geodb = trace
+        export_trace(logs, geodb, tmp_path)
+        for path in tmp_path.glob("*.jsonl"):
+            for line in path.read_text().splitlines():
+                json.loads(line)

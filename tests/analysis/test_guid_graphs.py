@@ -1,0 +1,153 @@
+"""Tests for the §6.2 analyses: mobility and secondary-GUID graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.guid_graphs import (
+    build_secondary_guid_graphs, classify_graph, figure12_pattern_census,
+    mobility_summary,
+)
+from repro.analysis.logstore import LogStore
+from repro.analysis.records import LoginRecord
+from repro.net.geo import GeoDatabase, GeoRecord
+
+
+def chain_graph(*edges):
+    g = nx.DiGraph()
+    g.add_edges_from(edges)
+    return g
+
+
+class TestClassification:
+    def test_linear_chain(self):
+        g = chain_graph(("1", "2"), ("2", "3"), ("3", "4"))
+        assert classify_graph(g) == "linear"
+
+    def test_one_short_branch_failed_update(self):
+        # 1→2→3→4 with dead branch 2→X.
+        g = chain_graph(("1", "2"), ("2", "3"), ("3", "4"), ("2", "X"))
+        assert classify_graph(g) == "one_short_branch"
+
+    def test_two_long_branches_restored_backup(self):
+        g = chain_graph(("1", "2"), ("2", "3"), ("3", "4"),
+                        ("2", "b1"), ("b1", "b2"))
+        assert classify_graph(g) == "two_long_branches"
+
+    def test_several_branches_reimaging(self):
+        g = chain_graph(("m", "a1"), ("m", "b1"), ("m", "c1"), ("a1", "a2"))
+        assert classify_graph(g) == "several_branches"
+
+    def test_merge_is_irregular(self):
+        g = chain_graph(("1", "3"), ("2", "3"))
+        assert classify_graph(g) == "irregular"
+
+    def test_two_roots_is_irregular(self):
+        g = chain_graph(("1", "2"), ("a", "b"))
+        assert classify_graph(g) == "irregular"
+
+    def test_empty_graph_irregular(self):
+        assert classify_graph(nx.DiGraph()) == "irregular"
+
+
+class TestGraphConstruction:
+    @staticmethod
+    def store_with_history(histories, guid="g1"):
+        store = LogStore()
+        for i, history in enumerate(histories):
+            store.add_login(LoginRecord(
+                guid=guid, ip="1.1.1.1", timestamp=float(i),
+                software_version="v", uploads_enabled=True,
+                secondary_guids=tuple(history)))
+        return store
+
+    def test_normal_boots_build_a_chain(self):
+        store = self.store_with_history([
+            ("s1",), ("s2", "s1"), ("s3", "s2", "s1"),
+        ])
+        graphs = build_secondary_guid_graphs(store, min_vertices=3)
+        assert classify_graph(graphs["g1"]) == "linear"
+
+    def test_rollback_builds_a_tree(self):
+        # Boot s1,s2,s3 then roll back to s1 and boot s4: branch at s1.
+        store = self.store_with_history([
+            ("s1",), ("s2", "s1"), ("s3", "s2", "s1"), ("s4", "s1"),
+        ])
+        graphs = build_secondary_guid_graphs(store, min_vertices=3)
+        cls = classify_graph(graphs["g1"])
+        assert cls != "linear"
+
+    def test_min_vertices_filter(self):
+        store = self.store_with_history([("s1",), ("s2", "s1")])
+        assert build_secondary_guid_graphs(store, min_vertices=3) == {}
+
+    def test_duplicate_logins_collapse(self):
+        store = self.store_with_history([
+            ("s2", "s1"), ("s2", "s1"), ("s3", "s2", "s1"),
+        ])
+        graphs = build_secondary_guid_graphs(store, min_vertices=3)
+        g = graphs["g1"]
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 2
+
+
+class TestCensus:
+    def test_census_shares_sum(self):
+        store = TestGraphConstruction.store_with_history([
+            ("s1",), ("s2", "s1"), ("s3", "s2", "s1"),
+        ])
+        census = figure12_pattern_census(store)
+        assert census["linear"] == 1.0
+        assert census["nonlinear"] == 0.0
+        assert census["graphs"] == 1
+
+    def test_empty_store(self):
+        assert figure12_pattern_census(LogStore()) == {}
+
+
+class TestMobilitySummary:
+    @staticmethod
+    def build(geo_specs):
+        """geo_specs: list of (guid, asn, lat, lon) logins."""
+        store = LogStore()
+        geodb = GeoDatabase()
+        for i, (guid, asn, lat, lon) in enumerate(geo_specs):
+            ip = f"ip{i}"
+            geodb.register(ip, GeoRecord(
+                country_code="DE", region="Europe", city="X", lat=lat,
+                lon=lon, timezone="UTC", network="n", asn=asn))
+            store.add_login(LoginRecord(
+                guid=guid, ip=ip, timestamp=float(i * 60),
+                software_version="v", uploads_enabled=True))
+        return store, geodb
+
+    def test_single_as_guid(self):
+        store, geodb = self.build([("g1", 1, 50.0, 8.0), ("g1", 1, 50.0, 8.0)])
+        summary = mobility_summary(store, geodb)
+        assert summary.one_as == 1.0
+        assert summary.within_10km == 1.0
+
+    def test_two_as_guid(self):
+        store, geodb = self.build([("g1", 1, 50.0, 8.0), ("g1", 2, 50.0, 8.0)])
+        summary = mobility_summary(store, geodb)
+        assert summary.two_as == 1.0
+
+    def test_more_as_guid(self):
+        store, geodb = self.build([
+            ("g1", 1, 50, 8), ("g1", 2, 50, 8), ("g1", 3, 50, 8)])
+        summary = mobility_summary(store, geodb)
+        assert summary.more_as == 1.0
+
+    def test_distance_classification(self):
+        store, geodb = self.build([
+            ("near", 1, 50.0, 8.0), ("near", 1, 50.05, 8.0),   # ~5.5 km
+            ("far", 2, 50.0, 8.0), ("far", 2, 51.0, 8.0),      # ~111 km
+        ])
+        summary = mobility_summary(store, geodb)
+        assert summary.within_10km == 0.5
+        assert summary.beyond_10km == 0.5
+
+    def test_empty_store(self):
+        summary = mobility_summary(LogStore(), GeoDatabase())
+        assert summary.guids == 0

@@ -1,0 +1,102 @@
+"""Tests for the §4 overview analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.logstore import LogStore
+from repro.analysis.overview import (
+    figure2_peer_distribution, table1_overall_statistics,
+    table2_provider_regions,
+)
+from repro.analysis.records import DownloadRecord, LoginRecord
+from repro.net.geo import GeoDatabase, GeoRecord
+
+
+def geo(asn=1, country="DE", region="Europe", lat=50.0, lon=8.0):
+    return GeoRecord(country, region, "B", lat, lon, "UTC", "isp", asn)
+
+
+def dl(guid="g", cid="c", ip="ip1", cp=1, t=0.0):
+    return DownloadRecord(
+        guid=guid, url=cid, cid=cid, cp_code=cp, size=10, started_at=t,
+        ended_at=t + 1, edge_bytes=10, peer_bytes=0, p2p_enabled=False,
+        outcome="completed", ip=ip)
+
+
+class TestTable1:
+    def test_counts(self):
+        store = LogStore()
+        geodb = GeoDatabase()
+        geodb.register("ip1", geo(asn=1))
+        geodb.register("ip2", geo(asn=2, country="FR"))
+        store.add_login(LoginRecord("g1", "ip1", 0.0, "v", True))
+        store.add_login(LoginRecord("g2", "ip2", 1.0, "v", True))
+        store.add_download(dl(guid="g1", ip="ip1"))
+        stats = table1_overall_statistics(store, geodb)
+        assert stats.guids == 2
+        assert stats.distinct_ips == 2
+        assert stats.downloads_initiated == 1
+        assert stats.distinct_asns == 2
+        assert stats.distinct_countries == 2
+        assert stats.log_entries == 3
+
+    def test_rows_render(self):
+        stats = table1_overall_statistics(LogStore(), GeoDatabase())
+        labels = [label for label, _v in stats.rows()]
+        assert "Number of GUIDs" in labels
+
+
+class TestTable2:
+    def test_row_normalisation(self):
+        store = LogStore()
+        geodb = GeoDatabase()
+        geodb.register("eu", geo(region="Europe"))
+        geodb.register("us", geo(asn=2, country="US", region="US East"))
+        store.add_download(dl(guid="a", ip="eu", cp=7))
+        store.add_download(dl(guid="b", ip="eu", cp=7))
+        store.add_download(dl(guid="c", ip="us", cp=7))
+        table = table2_provider_regions(store, geodb)
+        row = table["cp7"]
+        assert row["Europe"] == pytest.approx(2 / 3)
+        assert row["US East"] == pytest.approx(1 / 3)
+        assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_all_customers_row_present(self):
+        store = LogStore()
+        geodb = GeoDatabase()
+        geodb.register("eu", geo())
+        store.add_download(dl(ip="eu"))
+        table = table2_provider_regions(store, geodb)
+        assert "All customers" in table
+
+    def test_top_n_limits_providers(self):
+        store = LogStore()
+        geodb = GeoDatabase()
+        geodb.register("eu", geo())
+        for cp in range(1, 6):
+            store.add_download(dl(guid=f"g{cp}", ip="eu", cp=cp))
+        table = table2_provider_regions(store, geodb, top_n=2)
+        provider_rows = [k for k in table if k.startswith("cp")]
+        assert len(provider_rows) == 2
+
+
+class TestFigure2:
+    def test_bubbles_keyed_by_first_connection(self):
+        store = LogStore()
+        geodb = GeoDatabase()
+        geodb.register("home", geo(lat=50.0, lon=8.0))
+        geodb.register("away", geo(lat=40.0, lon=-74.0))
+        store.add_login(LoginRecord("g1", "home", 0.0, "v", True))
+        store.add_login(LoginRecord("g1", "away", 5.0, "v", True))
+        bubbles = figure2_peer_distribution(store, geodb)
+        assert bubbles == {(50.0, 8.0): 1}
+
+    def test_multiple_peers_same_location_aggregate(self):
+        store = LogStore()
+        geodb = GeoDatabase()
+        geodb.register("x", geo())
+        for g in "abc":
+            store.add_login(LoginRecord(g, "x", 0.0, "v", True))
+        bubbles = figure2_peer_distribution(store, geodb)
+        assert bubbles == {(50.0, 8.0): 3}

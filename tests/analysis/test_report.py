@@ -1,0 +1,54 @@
+"""Tests for the text renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.report import (
+    human_bytes, pct, render_comparison, render_series, render_table,
+)
+
+
+class TestFormatting:
+    def test_pct(self):
+        assert pct(0.714) == "71.4%"
+        assert pct(0.0055, digits=2) == "0.55%"
+
+    def test_human_bytes(self):
+        assert human_bytes(500) == "500.0B"
+        assert human_bytes(163e9) == "163.0GB"
+        assert human_bytes(34.2e12) == "34.2TB"
+
+
+class TestTables:
+    def test_render_table_includes_all_cells(self):
+        text = render_table("T", ["a", "b"], [("x", 1), ("y", 2)])
+        assert "T" in text
+        for cell in ("a", "b", "x", "y", "1", "2"):
+            assert cell in text
+
+    def test_render_comparison(self):
+        text = render_comparison("C", [("metric", "1.7%", "1.9%")])
+        assert "paper" in text
+        assert "1.7%" in text and "1.9%" in text
+
+    def test_column_alignment_consistent(self):
+        text = render_table("T", ["col"], [("short",), ("much-longer-cell",)])
+        lines = text.splitlines()
+        data = [l for l in lines if "short" in l or "much-longer" in l]
+        assert len(set(len(l.rstrip()) for l in data)) <= 2
+
+
+class TestSeries:
+    def test_downsamples_long_series(self):
+        points = [(float(i), float(i * i)) for i in range(200)]
+        text = render_series("S", {"line": points}, samples=10)
+        data_lines = [l for l in text.splitlines() if l.startswith("  ")]
+        assert len(data_lines) == 10
+
+    def test_short_series_shown_fully(self):
+        points = [(1.0, 2.0), (3.0, 4.0)]
+        text = render_series("S", {"line": points})
+        assert "(2 points)" in text
+
+    def test_empty_series_marked(self):
+        text = render_series("S", {"line": []})
+        assert "(empty)" in text

@@ -1,0 +1,72 @@
+"""Tests for the parameter-sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepResult, sweep, sweep_upload_enabled, sweep_warm_copies,
+)
+from repro.workload import (
+    CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig,
+)
+
+
+def tiny_base(seed=3):
+    return ScenarioConfig(
+        seed=seed, duration_days=1.0,
+        population=PopulationConfig(n_peers=150),
+        catalog=CatalogConfig(objects_per_provider=8),
+        demand=DemandConfig(total_downloads=120, duration_days=1.0),
+    )
+
+
+class TestSweepHarness:
+    def test_generic_sweep_runs_each_value(self):
+        from dataclasses import replace
+        result = sweep(
+            "warm", [0.0, 2.0],
+            lambda base, v: replace(base, warm_copies_per_peer=v),
+            base=tiny_base(),
+        )
+        assert isinstance(result, SweepResult)
+        assert [p.knob for p in result.points] == [0.0, 2.0]
+        for point in result.points:
+            assert 0.0 <= point.byte_weighted_efficiency <= 1.0
+            assert 0.0 <= point.completed_fraction <= 1.0
+
+    def test_series_extraction(self):
+        from dataclasses import replace
+        result = sweep(
+            "warm", [0.0, 2.0],
+            lambda base, v: replace(base, warm_copies_per_peer=v),
+            base=tiny_base(),
+        )
+        series = result.series("p2p_byte_share")
+        assert len(series) == 2
+        assert series[0][0] == 0.0
+
+    def test_warm_copies_raise_efficiency(self):
+        result = sweep_warm_copies([0.0, 4.0], seed=5, base=tiny_base(5))
+        low = result.points[0].byte_weighted_efficiency
+        high = result.points[-1].byte_weighted_efficiency
+        assert high > low
+
+    def test_upload_rate_override_changes_population(self):
+        result = sweep_upload_enabled([0.02, 0.9], seed=5, base=tiny_base(5))
+        low = result.points[0].byte_weighted_efficiency
+        high = result.points[-1].byte_weighted_efficiency
+        assert high > low
+
+    def test_monotonicity_helper(self):
+        from repro.analysis.sweeps import SweepPoint
+        rising = SweepResult("k", (
+            SweepPoint(0, 0.1, 0.1, 0.1, 1.0),
+            SweepPoint(1, 0.5, 0.5, 0.5, 1.0),
+        ))
+        falling = SweepResult("k", (
+            SweepPoint(0, 0.5, 0.5, 0.5, 1.0),
+            SweepPoint(1, 0.1, 0.1, 0.1, 1.0),
+        ))
+        assert rising.is_monotone_nondecreasing()
+        assert not falling.is_monotone_nondecreasing()

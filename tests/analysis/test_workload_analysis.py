@@ -1,0 +1,93 @@
+"""Tests for the Figure 3 analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.logstore import LogStore
+from repro.analysis.records import DownloadRecord
+from repro.analysis.workload_analysis import (
+    figure3a_size_cdfs, figure3b_popularity, figure3c_bytes_over_time,
+    fraction_of_requests_above, power_law_exponent,
+)
+
+MB = 1024 ** 2
+GB = 1024 ** 3
+
+
+def dl(cid="c", size=GB, p2p=True, t0=0.0, t1=3600.0, total=None):
+    total = size if total is None else total
+    return DownloadRecord(
+        guid="g", url=cid, cid=cid, cp_code=1, size=size, started_at=t0,
+        ended_at=t1, edge_bytes=total, peer_bytes=0, p2p_enabled=p2p,
+        outcome="completed")
+
+
+class TestFigure3a:
+    def test_classes_split(self):
+        store = LogStore()
+        store.add_download(dl(size=GB, p2p=True))
+        store.add_download(dl(size=10 * MB, p2p=False))
+        cdfs = figure3a_size_cdfs(store)
+        assert len(cdfs["peer_assisted"]) == 1
+        assert len(cdfs["infrastructure"]) == 1
+        assert len(cdfs["all"]) == 2
+
+    def test_fraction_above_threshold(self):
+        store = LogStore()
+        store.add_download(dl(size=GB, p2p=True))
+        store.add_download(dl(size=100 * MB, p2p=True))
+        assert fraction_of_requests_above(store, 500 * MB) == 0.5
+
+    def test_fraction_above_empty(self):
+        assert fraction_of_requests_above(LogStore(), 1) == 0.0
+
+
+class TestFigure3b:
+    def test_rank_ordering(self):
+        store = LogStore()
+        for _ in range(5):
+            store.add_download(dl(cid="popular"))
+        store.add_download(dl(cid="rare"))
+        series = figure3b_popularity(store)
+        assert series == [(1, 5), (2, 1)]
+
+    def test_power_law_slope_negative_for_zipf(self):
+        store = LogStore()
+        for rank in range(1, 30):
+            for _ in range(max(1, 300 // rank)):
+                store.add_download(dl(cid=f"obj{rank}"))
+        slope = power_law_exponent(figure3b_popularity(store))
+        assert slope < -0.5
+
+    def test_power_law_needs_points(self):
+        with pytest.raises(ValueError):
+            power_law_exponent([(1, 5)])
+
+
+class TestFigure3c:
+    def test_bytes_attributed_uniformly(self):
+        store = LogStore()
+        # 7200 bytes over 2 hours -> 3600 per hourly bucket.
+        store.add_download(dl(size=7200, total=7200, t0=0.0, t1=7200.0))
+        series = figure3c_bytes_over_time(store)
+        assert len(series) == 2
+        assert series[0][1] == pytest.approx(3600.0)
+        assert series[1][1] == pytest.approx(3600.0)
+
+    def test_sub_bucket_download(self):
+        store = LogStore()
+        store.add_download(dl(size=100, total=100, t0=10.0, t1=20.0))
+        series = figure3c_bytes_over_time(store)
+        assert series == [(0.0, pytest.approx(100.0))]
+
+    def test_invalid_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            figure3c_bytes_over_time(LogStore(), bucket_seconds=0.0)
+
+    def test_total_bytes_conserved(self):
+        store = LogStore()
+        store.add_download(dl(size=5000, total=5000, t0=100.0, t1=9000.0))
+        store.add_download(dl(size=300, total=300, t0=50.0, t1=60.0))
+        series = figure3c_bytes_over_time(store)
+        assert sum(v for _t, v in series) == pytest.approx(5300.0)

@@ -1,0 +1,67 @@
+"""Tests for the pure-infrastructure baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.infra_cdn import infrastructure_cost, make_infrastructure_cdn
+from repro.core import ContentObject, ContentProvider
+from repro.core.peer import CacheEntry
+
+
+class TestFactory:
+    def test_p2p_disabled(self):
+        system = make_infrastructure_cdn(seed=3)
+        assert not system.config.p2p_globally_enabled
+
+    def test_kwargs_forwarded(self):
+        system = make_infrastructure_cdn(seed=3)
+        other = make_infrastructure_cdn(seed=3)
+        assert system.create_peer().guid == other.create_peer().guid
+
+
+class TestDelivery:
+    def test_all_bytes_from_edge_even_with_seeders(self):
+        system = make_infrastructure_cdn(seed=5)
+        provider = ContentProvider(cp_code=1, name="P")
+        obj = ContentObject("f.bin", 200 * 1024 * 1024, provider,
+                            p2p_enabled=True)
+        system.publish(obj)
+        country = system.world.by_code["DE"]
+        for _ in range(5):
+            seeder = system.create_peer(country=country, uploads_enabled=True)
+            seeder.cache[obj.cid] = CacheEntry(obj.cid, 0.0)
+            seeder.boot()
+        downloader = system.create_peer(country=country)
+        downloader.boot()
+        session = downloader.start_download(obj)
+        system.run(until=12 * 3600)
+        assert session.state == "completed"
+        assert session.peer_bytes == 0
+
+
+class TestCostReport:
+    def test_cost_aggregation(self):
+        from repro.analysis.logstore import LogStore
+        from repro.analysis.records import DownloadRecord
+
+        store = LogStore()
+        store.add_download(DownloadRecord(
+            guid="g", url="u", cid="c", cp_code=1, size=100, started_at=0,
+            ended_at=1, edge_bytes=70, peer_bytes=30, p2p_enabled=True,
+            outcome="completed"))
+        store.add_download(DownloadRecord(
+            guid="g2", url="u", cid="c", cp_code=1, size=100, started_at=0,
+            ended_at=1, edge_bytes=50, peer_bytes=0, p2p_enabled=False,
+            outcome="aborted"))
+        report = infrastructure_cost(store)
+        assert report.edge_bytes == 120
+        assert report.peer_bytes == 30
+        assert report.edge_share == pytest.approx(0.8)
+        assert report.completion_rate == 0.5
+
+    def test_empty_report(self):
+        from repro.analysis.logstore import LogStore
+        report = infrastructure_cost(LogStore())
+        assert report.edge_share == 0.0
+        assert report.completion_rate == 0.0

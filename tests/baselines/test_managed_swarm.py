@@ -1,0 +1,87 @@
+"""Tests for the Antfarm-style managed-swarm baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.managed_swarm import ManagedSwarmConfig, ManagedSwarmSystem
+from repro.baselines.p2p_cdn import P2PPeer
+
+MBPS = 1e6 / 8
+
+
+def build_fleet(policy, seed=4, budget_mbps=20.0):
+    """Two swarms with very different self-sufficiency: a big, healthy one
+    and a young, seeder-poor one."""
+    system = ManagedSwarmSystem(
+        ManagedSwarmConfig(seed_budget_bps=budget_mbps * MBPS, policy=policy),
+        seed=seed)
+    rng = random.Random(seed)
+    healthy = system.add_torrent("healthy", 60e6)
+    starving = system.add_torrent("starving", 60e6)
+    for i in range(12):
+        peer = P2PPeer(f"h{i}", up_bps=rng.uniform(1, 3) * MBPS,
+                       down_bps=10 * MBPS)
+        system.start_download(healthy, peer)
+    for i in range(4):
+        peer = P2PPeer(f"s{i}", up_bps=0.2 * MBPS, down_bps=10 * MBPS,
+                       free_rider=i % 2 == 0)
+        system.start_download(starving, peer)
+    return system, healthy, starving
+
+
+class TestConfig:
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ManagedSwarmConfig(seed_budget_bps=0.0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ManagedSwarmConfig(policy="chaotic")
+
+
+class TestCoordinator:
+    def test_allocation_sums_to_budget(self):
+        system, healthy, starving = build_fleet("managed")
+        system.run(60.0)
+        total = sum(system.allocation.values())
+        assert total == pytest.approx(system.config.seed_budget_bps, rel=0.01)
+
+    def test_managed_favours_the_starving_swarm(self):
+        system, healthy, starving = build_fleet("managed")
+        system.run(60.0)
+        assert system.allocation["starving"] > system.allocation["healthy"]
+
+    def test_equal_split_is_equal(self):
+        system, healthy, starving = build_fleet("equal_split")
+        system.run(60.0)
+        assert system.allocation["healthy"] == pytest.approx(
+            system.allocation["starving"])
+
+    def test_idle_system_allocates_nothing(self):
+        system = ManagedSwarmSystem(seed=1)
+        system.add_torrent("empty", 1e6)
+        system.run(30.0)
+        assert sum(system.allocation.values()) == 0.0
+
+
+class TestOutcomes:
+    def test_both_policies_complete_eventually(self):
+        for policy in ("managed", "equal_split"):
+            system, _h, _s = build_fleet(policy)
+            system.run(4 * 3600.0)
+            stats = system.aggregate_stats()
+            assert stats["completed"] == 1.0, policy
+
+    def test_managed_beats_equal_split_on_mean_time(self):
+        managed, *_ = build_fleet("managed", budget_mbps=10.0)
+        managed.run(4 * 3600.0)
+        control, *_ = build_fleet("equal_split", budget_mbps=10.0)
+        control.run(4 * 3600.0)
+        m = managed.aggregate_stats()
+        c = control.aggregate_stats()
+        assert m["completed"] >= c["completed"]
+        if m["completed"] == c["completed"] == 1.0:
+            assert m["mean_time"] <= c["mean_time"] * 1.05

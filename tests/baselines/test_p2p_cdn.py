@@ -1,0 +1,136 @@
+"""Tests for the BitTorrent-like pure-P2P baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.p2p_cdn import P2PConfig, P2PPeer, PureP2PSwarm
+
+MBPS = 1e6 / 8
+
+
+def make_leechers(swarm, torrent, n, *, free_riders=0, seed_names="l"):
+    downloads = []
+    for i in range(n):
+        peer = P2PPeer(f"{seed_names}{i}", up_bps=1 * MBPS, down_bps=10 * MBPS,
+                       free_rider=i < free_riders)
+        downloads.append(swarm.start_download(torrent, peer))
+    return downloads
+
+
+class TestBasics:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            P2PConfig(recheck_interval=0.0)
+        with pytest.raises(ValueError):
+            P2PConfig(upload_slots=0)
+
+    def test_invalid_torrent_size_rejected(self):
+        with pytest.raises(ValueError):
+            PureP2PSwarm(seed=1).add_torrent("t", 0.0, [])
+
+    def test_single_leecher_downloads_from_seeder(self):
+        swarm = PureP2PSwarm(seed=1)
+        seeder = P2PPeer("seed", up_bps=5 * MBPS, down_bps=10 * MBPS)
+        torrent = swarm.add_torrent("t", 50e6, [seeder])
+        (download,) = make_leechers(swarm, torrent, 1)
+        swarm.run(4 * 3600)
+        assert download.complete
+        assert download.end_time is not None
+
+    def test_download_rate_bounded_by_seeder_uplink(self):
+        swarm = PureP2PSwarm(seed=1)
+        seeder = P2PPeer("seed", up_bps=1 * MBPS, down_bps=10 * MBPS)
+        torrent = swarm.add_torrent("t", 36e6, [seeder])
+        (download,) = make_leechers(swarm, torrent, 1)
+        swarm.run(3600)
+        took = download.end_time - download.start_time
+        assert took >= 36e6 / (1 * MBPS) * 0.9
+
+    def test_completed_leecher_becomes_seeder(self):
+        swarm = PureP2PSwarm(P2PConfig(seed_linger_mean=1e9), seed=1)
+        seeder = P2PPeer("seed", up_bps=8 * MBPS, down_bps=10 * MBPS)
+        torrent = swarm.add_torrent("t", 10e6, [seeder])
+        (download,) = make_leechers(swarm, torrent, 1)
+        swarm.run(3600)
+        assert download.peer in torrent.seeders
+
+
+class TestIncentives:
+    def test_free_riders_slower_than_contributors(self):
+        swarm = PureP2PSwarm(seed=3)
+        seeders = [P2PPeer(f"s{i}", up_bps=2 * MBPS, down_bps=10 * MBPS)
+                   for i in range(2)]
+        torrent = swarm.add_torrent("t", 100e6, seeders)
+        downloads = make_leechers(swarm, torrent, 12, free_riders=4)
+        swarm.run(8 * 3600)
+        def mean_time(group):
+            times = [d.end_time - d.start_time for d in group
+                     if d.end_time is not None]
+            # Unfinished downloads count as the full window (censored).
+            times += [8 * 3600.0] * sum(1 for d in group if d.end_time is None)
+            return sum(times) / len(times)
+        free = [d for d in downloads if d.peer.free_rider]
+        contrib = [d for d in downloads if not d.peer.free_rider]
+        assert mean_time(contrib) < mean_time(free)
+
+    def test_reciprocation_credit_accumulates(self):
+        swarm = PureP2PSwarm(seed=3)
+        seeder = P2PPeer("s", up_bps=5 * MBPS, down_bps=10 * MBPS)
+        torrent = swarm.add_torrent("t", 80e6, [seeder])
+        downloads = make_leechers(swarm, torrent, 3)
+        swarm.run(1800)
+        assert any(d.credit for d in downloads)
+
+
+class TestChurnAndFailure:
+    def test_no_seeders_means_no_progress(self):
+        swarm = PureP2PSwarm(seed=2)
+        torrent = swarm.add_torrent("t", 50e6, [])
+        (download,) = make_leechers(swarm, torrent, 1)
+        swarm.run(3600)
+        assert download.received == 0.0
+
+    def test_stalled_download_fails(self):
+        swarm = PureP2PSwarm(P2PConfig(stall_timeout=600.0), seed=2)
+        torrent = swarm.add_torrent("t", 50e6, [])
+        (download,) = make_leechers(swarm, torrent, 1)
+        swarm.run(3600)
+        assert download.failed
+
+    def test_offline_seeder_stops_serving(self):
+        swarm = PureP2PSwarm(P2PConfig(stall_timeout=1e9), seed=2)
+        seeder = P2PPeer("s", up_bps=5 * MBPS, down_bps=10 * MBPS)
+        torrent = swarm.add_torrent("t", 1e9, [seeder])
+        (download,) = make_leechers(swarm, torrent, 1)
+        swarm.run(60)
+        seeder.online = False
+        before = download.received
+        swarm.run(600)
+        assert download.received == before
+
+    def test_seeders_churn_after_linger(self):
+        swarm = PureP2PSwarm(P2PConfig(seed_linger_mean=60.0), seed=4)
+        seeder = P2PPeer("s", up_bps=20 * MBPS, down_bps=20 * MBPS)
+        torrent = swarm.add_torrent("t", 5e6, [seeder])
+        (download,) = make_leechers(swarm, torrent, 1)
+        swarm.run(2 * 3600)
+        assert download.complete
+        # After lingering, the finished peer left the seeder set.
+        assert download.peer not in torrent.seeders
+
+    def test_completion_stats(self):
+        swarm = PureP2PSwarm(seed=5)
+        seeder = P2PPeer("s", up_bps=10 * MBPS, down_bps=10 * MBPS)
+        torrent = swarm.add_torrent("t", 10e6, [seeder])
+        make_leechers(swarm, torrent, 2)
+        swarm.run(4 * 3600)
+        stats = swarm.completion_stats(torrent)
+        assert stats["completed"] == 1.0
+        assert stats["mean_time"] > 0
+
+    def test_completion_stats_empty_torrent(self):
+        swarm = PureP2PSwarm(seed=5)
+        torrent = swarm.add_torrent("t", 10e6, [])
+        stats = swarm.completion_stats(torrent)
+        assert stats == {"completed": 0.0, "failed": 0.0, "mean_time": 0.0}

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ContentObject, ContentProvider, NetSessionSystem, SystemConfig
+from repro.core.peer import CacheEntry
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def system() -> NetSessionSystem:
+    """A small, fully wired NetSession deployment."""
+    return NetSessionSystem(seed=7)
+
+
+@pytest.fixture
+def provider() -> ContentProvider:
+    """A generic upload-friendly content provider."""
+    return ContentProvider(cp_code=9001, name="TestCo", upload_default_rate=1.0)
+
+
+@pytest.fixture
+def small_object(provider) -> ContentObject:
+    """A 40 MB infrastructure-only object."""
+    return ContentObject("small.bin", 40 * 1024 * 1024, provider)
+
+
+@pytest.fixture
+def big_object(provider) -> ContentObject:
+    """A 600 MB p2p-enabled object."""
+    return ContentObject("big.bin", 600 * 1024 * 1024, provider, p2p_enabled=True)
+
+
+def make_swarm_scene(system, obj, *, seeders=12, country_code="DE"):
+    """Publish ``obj``, boot ``seeders`` peers that already cache it, and
+    return (seeder list, a fresh downloader) — all in one country so the
+    locality-aware directory finds them."""
+    system.publish(obj)
+    country = system.world.by_code[country_code]
+    peers = []
+    for _ in range(seeders):
+        peer = system.create_peer(country=country, uploads_enabled=True)
+        peer.cache[obj.cid] = CacheEntry(cid=obj.cid, completed_at=0.0)
+        peer.boot()
+        peers.append(peer)
+    downloader = system.create_peer(country=country, uploads_enabled=True)
+    downloader.boot()
+    return peers, downloader
+
+
+@pytest.fixture
+def swarm_scene(system, big_object):
+    """(system, object, seeders, downloader) ready for a peer-assisted download."""
+    seeders, downloader = make_swarm_scene(system, big_object)
+    return system, big_object, seeders, downloader

@@ -1,0 +1,56 @@
+"""Tests for the monitoring service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.control.monitoring import MonitoringService
+from repro.core.control.stun import StunService
+from repro.core.messages import CrashReport
+from repro.net.nat import NATProfile, NATType
+
+
+def report(t=0.0, kind="crash"):
+    return CrashReport(guid="g", kind=kind, detail="d", timestamp=t)
+
+
+class TestMonitoring:
+    def test_counts_by_kind(self):
+        service = MonitoringService()
+        service.report(report(kind="crash"))
+        service.report(report(kind="error"))
+        service.report(report(kind="crash"))
+        assert service.counts["crash"] == 2
+        assert service.total_reports() == 3
+
+    def test_recent_ring_bounded(self):
+        service = MonitoringService(recent_capacity=5)
+        for i in range(10):
+            service.report(report(t=float(i)))
+        assert len(service.recent) == 5
+        assert service.recent[-1].timestamp == 9.0
+
+    def test_alert_on_report_storm(self):
+        service = MonitoringService(window=60.0, alert_threshold=10)
+        for i in range(10):
+            service.report(report(t=float(i)))
+        assert len(service.alerts) == 1
+
+    def test_no_alert_when_spread_out(self):
+        service = MonitoringService(window=60.0, alert_threshold=10)
+        for i in range(10):
+            service.report(report(t=float(i * 120)))
+        assert service.alerts == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringService(window=0.0)
+
+
+class TestStun:
+    def test_probe_returns_reported_type_and_counts(self):
+        stun = StunService()
+        profile = NATProfile(NATType.OPEN, NATType.SYMMETRIC)
+        assert stun.probe(profile) is NATType.SYMMETRIC
+        stun.probe(profile)
+        assert stun.probe_count == 2

@@ -1,0 +1,155 @@
+"""Tests for the streaming extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContentObject, NetSessionSystem
+from repro.core.streaming import StreamingSession, start_streaming
+from tests.conftest import make_swarm_scene
+
+MBIT = 1e6 / 8
+MB = 1024 * 1024
+HOUR = 3600.0
+
+
+@pytest.fixture
+def video(provider):
+    # ~11 minutes of 3 Mbit/s video.
+    return ContentObject("show.mp4", 250 * MB, provider, p2p_enabled=True)
+
+
+class TestValidation:
+    def test_invalid_bitrate_rejected(self, system, video):
+        peer = system.create_peer()
+        with pytest.raises(ValueError):
+            StreamingSession(system, peer, video, bitrate=0.0)
+
+    def test_offline_peer_rejected(self, system, video):
+        system.publish(video)
+        peer = system.create_peer()
+        with pytest.raises(RuntimeError):
+            start_streaming(peer, video, bitrate=3 * MBIT)
+
+    def test_duplicate_request_returns_same_session(self, system, video):
+        system.publish(video)
+        peer = system.create_peer()
+        peer.boot()
+        a = start_streaming(peer, video, bitrate=3 * MBIT)
+        b = start_streaming(peer, video, bitrate=3 * MBIT)
+        assert a is b
+
+    def test_conflicts_with_plain_download(self, system, video):
+        system.publish(video)
+        peer = system.create_peer()
+        peer.boot()
+        peer.start_download(video)
+        with pytest.raises(RuntimeError):
+            start_streaming(peer, video, bitrate=3 * MBIT)
+
+
+class TestPlayback:
+    def test_stream_plays_to_completion(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=4 * HOUR)
+        report = session.qoe_report()
+        assert report["finished"] == 1.0
+        assert session.played_bytes == video.size
+        assert session.state == "completed"
+
+    def test_startup_delay_reflects_buffer(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT,
+                                  startup_buffer_s=10.0)
+        system.run(until=4 * HOUR)
+        delay = session.startup_delay
+        assert delay is not None
+        # Buffer fill at >= line rate: startup within tens of seconds.
+        assert 0.0 < delay < 120.0
+
+    def test_fast_link_never_rebuffers(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        # Only rebuffer-free if the link outruns the bitrate.
+        if viewer.link.down_bps * 8 < 4e6:
+            pytest.skip("sampled link slower than bitrate")
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=4 * HOUR)
+        assert session.rebuffer_events == 0
+
+    def test_undersized_link_rebuffers(self, system, provider):
+        from repro.net.flows import Resource
+        from repro.net.links import AccessLink, mbps
+
+        video = ContentObject("hd.mp4", 120 * MB, provider)
+        system.publish(video)
+        viewer = system.create_peer()
+        viewer.link = AccessLink(Resource("v/d", mbps(2.0)),
+                                 Resource("v/u", mbps(0.5)), "dsl")
+        viewer.boot()
+        # 8 Mbit/s video over a 2 Mbit/s link must stall.
+        session = start_streaming(viewer, video, bitrate=8 * MBIT)
+        system.run(until=6 * HOUR)
+        assert session.rebuffer_events > 0
+        assert session.rebuffer_time > 0.0
+
+    def test_stream_gets_peer_assist(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=4 * HOUR)
+        assert session.peer_fraction > 0.3
+
+    def test_aborted_stream_stops_clock(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=10.0)
+        session.abort()
+        events_before = session.rebuffer_events
+        system.run(until=HOUR)
+        assert session.rebuffer_events == events_before
+        assert session.playback_finished_at is None
+
+    def test_contiguous_prefix_accounting(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        # Simulate out-of-order receipt: holes stop the prefix.
+        session.received = {0, 1, 3}
+        expected = video.piece_size(0) + video.piece_size(1)
+        assert session.contiguous_bytes() == expected
+
+
+class TestStreamingResilience:
+    def test_stream_survives_seeder_churn(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=30.0)
+        for s in seeders[::2]:
+            s.go_offline()
+        system.run(until=4 * HOUR)
+        assert session.qoe_report()["finished"] == 1.0
+
+    def test_stream_without_peers_is_edge_fed(self, system, video):
+        system.publish(video)
+        viewer = system.create_peer(uploads_enabled=True)
+        viewer.boot()
+        session = start_streaming(viewer, video, bitrate=2 * MBIT)
+        system.run(until=4 * HOUR)
+        report = session.qoe_report()
+        assert session.peer_bytes == 0
+        if viewer.link.down_bps * 8 > 3e6:
+            assert report["finished"] == 1.0
+
+    def test_buffered_seconds_bounded_by_prefix(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=60.0)
+        assert session.buffered_seconds() * 3 * MBIT <= (
+            session.contiguous_bytes() + 1.0)
+
+    def test_qoe_report_fields(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=4 * HOUR)
+        report = session.qoe_report()
+        assert set(report) == {"startup_delay", "rebuffer_events",
+                               "rebuffer_time", "peer_fraction", "finished"}

@@ -1,0 +1,104 @@
+"""Failure injection across the full system (§3.8 robustness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContentObject, ContentProvider, NetSessionSystem
+from repro.core.peer import CacheEntry
+
+HOUR = 3600.0
+
+
+def build_busy_system(seed=31, seeders=8):
+    system = NetSessionSystem(seed=seed)
+    provider = ContentProvider(cp_code=1, name="P")
+    obj = ContentObject("f.bin", 500 * 1024 * 1024, provider, p2p_enabled=True)
+    system.publish(obj)
+    country = system.world.by_code["DE"]
+    for _ in range(seeders):
+        s = system.create_peer(country=country, uploads_enabled=True)
+        s.cache[obj.cid] = CacheEntry(obj.cid, 0.0)
+        s.boot()
+    downloader = system.create_peer(country=country, uploads_enabled=True)
+    downloader.boot()
+    return system, obj, downloader
+
+
+class TestCNFailureMidDownload:
+    def test_download_completes_through_cn_crash(self):
+        system, obj, downloader = build_busy_system()
+        session = downloader.start_download(obj)
+        system.run(until=20.0)
+        system.control.fail_cn(downloader.cn)
+        system.run(until=12 * HOUR)
+        assert session.state == "completed"
+
+    def test_peer_reconnects_to_another_cn(self):
+        system, obj, downloader = build_busy_system()
+        old_cn = downloader.cn
+        system.control.fail_cn(old_cn)
+        system.run(until=system.sim.now + 120.0)
+        assert downloader.cn is not None
+        assert downloader.cn is not old_cn
+
+
+class TestDNFailureMidDownload:
+    def test_directory_recovers_and_serves_new_downloads(self):
+        system, obj, downloader = build_busy_system()
+        region = downloader.network_region
+        dn = system.control.dns_by_region[region][0]
+        assert dn.copy_count(obj.cid) > 0
+        system.control.fail_dn(dn)
+        assert dn.copy_count(obj.cid) > 0  # RE-ADD repopulated
+        session = downloader.start_download(obj)
+        system.run(until=12 * HOUR)
+        assert session.state == "completed"
+        assert session.peer_bytes > 0
+
+
+class TestTotalControlPlaneOutage:
+    def test_downloads_fall_back_to_edge(self):
+        system, obj, downloader = build_busy_system()
+        for cn in system.control.all_cns:
+            cn.fail()
+        downloader.reconnect()  # finds nothing
+        assert downloader.cn is None
+        session = downloader.start_download(obj)
+        system.run(until=12 * HOUR)
+        assert session.state == "completed"
+        assert session.peer_bytes == 0
+
+    def test_new_peer_boots_without_control_plane(self):
+        system, obj, _downloader = build_busy_system()
+        for cn in system.control.all_cns:
+            cn.fail()
+        newcomer = system.create_peer()
+        newcomer.boot()
+        assert newcomer.online
+        assert newcomer.cn is None
+
+
+class TestAccountingAttack:
+    def test_attacker_filtered_but_service_unaffected(self):
+        system, obj, downloader = build_busy_system()
+        downloader.accounting_attacker = True
+        session = downloader.start_download(obj)
+        system.run(until=12 * HOUR)
+        assert session.state == "completed"
+        assert len(system.accounting.rejected) == 1
+        assert system.accounting.rejected[0][1] in ("edge-mismatch", "oversized")
+        billed = system.accounting.provider_report(obj.provider.cp_code)
+        assert billed.total_bytes == 0  # nothing billed from the attacker
+
+    def test_honest_peer_unaffected_by_attacker_presence(self):
+        system, obj, downloader = build_busy_system()
+        downloader.accounting_attacker = True
+        downloader.start_download(obj)
+        country = system.world.by_code["DE"]
+        honest = system.create_peer(country=country, uploads_enabled=True)
+        honest.boot()
+        session = honest.start_download(obj)
+        system.run(until=12 * HOUR)
+        assert session.state == "completed"
+        assert len(system.accounting.accepted) == 1

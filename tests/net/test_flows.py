@@ -1,0 +1,310 @@
+"""Tests for the fluid flow network and max-min fair allocation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.flows import Flow, FlowNetwork, Resource, _max_min_fair
+from repro.net.sim import Simulator
+
+
+def make_net():
+    sim = Simulator()
+    return sim, FlowNetwork(sim)
+
+
+class TestResource:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            Resource("bad", 0.0)
+
+    def test_unconstrained_resource_allowed(self):
+        res = Resource("core", None)
+        assert res.capacity is None
+        assert res.utilization == 0.0
+
+    def test_utilization_reflects_flow_rates(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        net.start_flow([res], 1000.0)
+        assert res.utilization == pytest.approx(1.0)
+
+
+class TestSingleFlow:
+    def test_flow_gets_full_capacity(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 1000.0)
+        assert flow.rate == pytest.approx(100.0)
+
+    def test_completion_time_is_size_over_rate(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        done = []
+        net.start_flow([res], 1000.0, on_complete=lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_cap_limits_rate(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 1000.0, cap=25.0)
+        assert flow.rate == pytest.approx(25.0)
+
+    def test_uncapped_unconstrained_flow_finishes(self):
+        sim, net = make_net()
+        done = []
+        net.start_flow([], 1e9, on_complete=lambda f: done.append(1))
+        sim.run()
+        assert done == [1]
+
+    def test_invalid_size_rejected(self):
+        _sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.start_flow([], 0.0)
+
+    def test_invalid_cap_rejected(self):
+        _sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.start_flow([], 10.0, cap=-1.0)
+
+    def test_transferred_bytes_equal_size_on_completion(self):
+        sim, net = make_net()
+        res = Resource("link", 7.0)
+        flow = net.start_flow([res], 100.0)
+        sim.run()
+        assert flow.transferred == pytest.approx(100.0)
+        assert not flow.active
+
+    def test_average_rate(self):
+        sim, net = make_net()
+        res = Resource("link", 50.0)
+        flow = net.start_flow([res], 500.0)
+        sim.run()
+        assert flow.average_rate() == pytest.approx(50.0)
+        assert flow.elapsed == pytest.approx(10.0)
+
+
+class TestFairSharing:
+    def test_two_flows_split_evenly(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        f1 = net.start_flow([res], 1e6)
+        f2 = net.start_flow([res], 1e6)
+        assert f1.rate == pytest.approx(50.0)
+        assert f2.rate == pytest.approx(50.0)
+
+    def test_capped_flow_leaves_residual_to_others(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        slow = net.start_flow([res], 1e6, cap=10.0)
+        fast = net.start_flow([res], 1e6)
+        assert slow.rate == pytest.approx(10.0)
+        assert fast.rate == pytest.approx(90.0)
+
+    def test_rates_rebalance_when_flow_completes(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        short = net.start_flow([res], 100.0)
+        long = net.start_flow([res], 10_000.0)
+        assert long.rate == pytest.approx(50.0)
+        sim.run(until=3.0)  # short finishes at t=2
+        assert not short.active
+        assert long.rate == pytest.approx(100.0)
+
+    def test_multi_resource_bottleneck(self):
+        sim, net = make_net()
+        uplink = Resource("up", 10.0)
+        downlink = Resource("down", 100.0)
+        flow = net.start_flow([uplink, downlink], 1e6)
+        assert flow.rate == pytest.approx(10.0)
+
+    def test_two_uploaders_one_downlink(self):
+        sim, net = make_net()
+        up_a = Resource("upA", 30.0)
+        up_b = Resource("upB", 200.0)
+        down = Resource("down", 100.0)
+        fa = net.start_flow([up_a, down], 1e6)
+        fb = net.start_flow([up_b, down], 1e6)
+        # A frozen at its uplink 30; B gets the rest of the downlink.
+        assert fa.rate == pytest.approx(30.0)
+        assert fb.rate == pytest.approx(70.0)
+
+    def test_total_never_exceeds_capacity(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flows = [net.start_flow([res], 1e6) for _ in range(7)]
+        assert sum(f.rate for f in flows) <= 100.0 + 1e-6
+
+    def test_disjoint_components_do_not_interact(self):
+        sim, net = make_net()
+        res_a = Resource("a", 100.0)
+        res_b = Resource("b", 40.0)
+        fa = net.start_flow([res_a], 1e6)
+        fb = net.start_flow([res_b], 1e6)
+        assert fa.rate == pytest.approx(100.0)
+        assert fb.rate == pytest.approx(40.0)
+
+
+class TestAbortAndRecap:
+    def test_abort_keeps_transferred_bytes(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 1e6)
+        sim.schedule(5.0, lambda: net.abort_flow(flow))
+        sim.run(until=6.0)
+        assert not flow.active
+        assert flow.transferred == pytest.approx(500.0)
+
+    def test_abort_frees_capacity_for_others(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        f1 = net.start_flow([res], 1e6)
+        f2 = net.start_flow([res], 1e6)
+        sim.schedule(1.0, lambda: net.abort_flow(f1))
+        sim.run(until=2.0)
+        assert f2.rate == pytest.approx(100.0)
+
+    def test_abort_is_idempotent(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 1e6)
+        net.abort_flow(flow)
+        net.abort_flow(flow)
+        assert net.aborted_count == 1
+
+    def test_aborted_flow_does_not_complete(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        done = []
+        flow = net.start_flow([res], 200.0, on_complete=lambda f: done.append(1))
+        net.abort_flow(flow)
+        sim.run()
+        assert done == []
+
+    def test_set_cap_midstream_changes_finish_time(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        done = []
+        flow = net.start_flow([res], 1000.0, on_complete=lambda f: done.append(sim.now))
+        sim.schedule(5.0, lambda: net.set_cap(flow, 10.0))
+        sim.run()
+        # 500 bytes in 5s, then 500 bytes at 10B/s = 50s more.
+        assert done == [pytest.approx(55.0)]
+
+    def test_clearing_cap_restores_fair_share(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 1e6, cap=10.0)
+        net.set_cap(flow, None)
+        assert flow.rate == pytest.approx(100.0)
+
+    def test_completion_counter(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        for _ in range(3):
+            net.start_flow([res], 50.0)
+        sim.run()
+        assert net.completed_count == 3
+
+
+class TestMaxMinProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        caps=st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=6),
+        n_flows=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_allocation_feasible_and_work_conserving(self, caps, n_flows, seed):
+        """Max-min invariants: feasibility, non-negativity, and no resource
+        left under-used while some flow on it could still grow."""
+        import random as _random
+        rng = _random.Random(seed)
+        sim = Simulator()
+        resources = [Resource(f"r{i}", c) for i, c in enumerate(caps)]
+        flows = []
+        for i in range(n_flows):
+            chosen = rng.sample(resources, rng.randint(1, len(resources)))
+            flow = Flow(i, tuple(chosen), 1e9, None, None, None, 0.0)
+            for res in chosen:
+                res.flows.add(flow)
+            flows.append(flow)
+        rates = _max_min_fair(set(flows))
+
+        for f, r in rates.items():
+            assert r >= 0.0
+        for res in resources:
+            load = sum(rates[f] for f in flows if res in f.resources)
+            assert load <= res.capacity * (1 + 1e-9) + 1e-9
+
+        # Work conservation: every flow is blocked by some saturated resource.
+        for f in flows:
+            saturated = False
+            for res in f.resources:
+                load = sum(rates[g] for g in flows if res in g.resources)
+                if load >= res.capacity * (1 - 1e-6):
+                    saturated = True
+            assert saturated
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=20), cap=st.floats(min_value=1.0, max_value=1e6))
+    def test_symmetric_flows_get_equal_shares(self, n, cap):
+        res = Resource("link", cap)
+        flows = []
+        for i in range(n):
+            flow = Flow(i, (res,), 1e12, None, None, None, 0.0)
+            res.flows.add(flow)
+            flows.append(flow)
+        rates = _max_min_fair(set(flows))
+        expected = cap / n
+        for f in flows:
+            assert math.isclose(rates[f], expected, rel_tol=1e-9)
+
+
+class TestSnapshotAndErrors:
+    def test_throughput_snapshot(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        f1 = net.start_flow([res], 1e6)
+        f2 = net.start_flow([res], 1e6)
+        snap = net.throughput_snapshot()
+        assert set(snap) == {f1.flow_id, f2.flow_id}
+        assert sum(snap.values()) == pytest.approx(100.0)
+
+    def test_set_cap_invalid_rejected(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 1e6)
+        with pytest.raises(ValueError):
+            net.set_cap(flow, 0.0)
+
+    def test_set_cap_on_finished_flow_is_noop(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 100.0)
+        sim.run()
+        net.set_cap(flow, 1.0)  # must not raise
+
+    def test_flow_average_rate_while_active(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        flow = net.start_flow([res], 1e6)
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=5.0)
+        # Settle hasn't happened (no reallocation), so average uses now.
+        assert flow.average_rate(now=5.0) >= 0.0
+
+    def test_many_flows_sequential_completions(self):
+        sim, net = make_net()
+        res = Resource("link", 100.0)
+        finished = []
+        for i in range(12):
+            net.start_flow([res], 100.0 * (i + 1),
+                           on_complete=lambda f: finished.append(f.flow_id))
+        sim.run()
+        assert len(finished) == 12
+        assert net.completed_count == 12
+        assert not net.active_flows

@@ -1,0 +1,206 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.sim import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=42.0).now == 42.0
+
+    def test_callback_fires_at_scheduled_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_zero_delay_runs_after_current_event(self):
+        sim = Simulator()
+        order = []
+        def first():
+            order.append("first")
+            sim.schedule(0.0, lambda: order.append("nested"))
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        for t in (5.0, 1.0, 3.0, 2.0, 4.0):
+            sim.schedule(t, lambda t=t: seen.append(t))
+        sim.run()
+        assert seen == sorted(seen)
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == list(range(10))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_arbitrary_delays_fire_sorted(self, delays):
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_remaining_events_fire_on_second_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert seen == [10]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        seen = []
+        def first():
+            seen.append(1)
+            sim.stop()
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        assert sim.pending_count() == 1
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: seen.append(i))
+        sim.run(max_events=3)
+        assert len(seen) == 3
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        error: list[Exception] = []
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                error.append(exc)
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(error) == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append(1))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_property(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert event.pending
+        sim.run()
+        assert not event.pending
+
+    def test_cancel_from_another_callback(self):
+        sim = Simulator()
+        seen = []
+        later = sim.schedule(2.0, lambda: seen.append(2))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert seen == []
+
+
+class TestRecurring:
+    def test_every_fires_repeatedly(self):
+        sim = Simulator()
+        seen = []
+        sim.every(10.0, lambda: seen.append(sim.now))
+        sim.run(until=35.0)
+        assert seen == [10.0, 20.0, 30.0]
+
+    def test_every_with_first_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.every(10.0, lambda: seen.append(sim.now), first_delay=1.0)
+        sim.run(until=25.0)
+        assert seen == [1.0, 11.0, 21.0]
+
+    def test_every_until_bound(self):
+        sim = Simulator()
+        seen = []
+        sim.every(10.0, lambda: seen.append(sim.now), until=25.0)
+        sim.run(until=100.0)
+        assert seen == [10.0, 20.0]
+
+    def test_cancelling_recurring_event_stops_it(self):
+        sim = Simulator()
+        seen = []
+        event = sim.every(10.0, lambda: seen.append(sim.now))
+        sim.schedule(25.0, event.cancel)
+        sim.run(until=100.0)
+        assert seen == [10.0, 20.0]
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic AS topology."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.net.geo import build_core_world
+from repro.net.topology import ASTopology, build_topology
+
+
+@pytest.fixture(scope="module")
+def topology():
+    world = build_core_world()
+    return build_topology(world, random.Random(99))
+
+
+class TestBuild:
+    def test_every_country_has_eyeballs(self, topology):
+        world = build_core_world()
+        for country in world.countries:
+            assert topology.eyeball_ases(country.code), country.code
+
+    def test_asns_unique(self, topology):
+        asns = [a.asn for a in topology.ases]
+        assert len(asns) == len(set(asns))
+
+    def test_graph_is_connected(self, topology):
+        assert nx.is_connected(topology.graph)
+
+    def test_eyeballs_have_zipf_like_sizes(self, topology):
+        eyeballs = topology.eyeball_ases("DE")
+        weights = [a.size_weight for a in eyeballs]
+        assert weights == sorted(weights, reverse=True)
+        if len(weights) > 1:
+            assert weights[0] > weights[-1]
+
+    def test_network_regions_are_paper_scale(self, topology):
+        regions = topology.network_regions()
+        # "the current deployment has less than 20 network regions"
+        assert 2 <= len(regions) < 20
+
+    def test_tier1_clique_exists(self, topology):
+        tier1 = [a for a in topology.ases if a.kind == "tier1"]
+        assert len(tier1) >= 3
+        for a in tier1:
+            for b in tier1:
+                if a.asn != b.asn:
+                    assert topology.graph.has_edge(a.asn, b.asn)
+
+
+class TestSampling:
+    def test_sample_as_returns_eyeball_of_country(self, topology):
+        rng = random.Random(5)
+        for _ in range(30):
+            asys = topology.sample_as("US", rng)
+            assert asys.country_code == "US"
+            assert asys.kind == "eyeball"
+
+    def test_sample_unknown_country_raises(self, topology):
+        with pytest.raises(KeyError):
+            topology.sample_as("ZZ", random.Random(1))
+
+    def test_largest_as_dominates_samples(self, topology):
+        rng = random.Random(7)
+        eyeballs = topology.eyeball_ases("DE")
+        top = max(eyeballs, key=lambda a: a.size_weight)
+        hits = sum(1 for _ in range(500) if topology.sample_as("DE", rng).asn == top.asn)
+        assert hits > 500 / len(eyeballs)
+
+
+class TestConnectivity:
+    def test_directly_connected_for_edges(self, topology):
+        a, b = next(iter(topology.graph.edges))
+        assert topology.directly_connected(a, b)
+
+    def test_not_connected_for_non_edges(self, topology):
+        non_edges = nx.non_edges(topology.graph)
+        a, b = next(non_edges)
+        assert not topology.directly_connected(a, b)
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            ASTopology([], nx.Graph())

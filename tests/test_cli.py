@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "exp_nonsense"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "exp_offload", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "offload summary" in out
+        assert "peer efficiency" in out
+
+    def test_trace_exports_files(self, tmp_path, capsys):
+        assert main(["trace", "--out", str(tmp_path / "t"),
+                     "--scale", "small", "--seed", "7"]) == 0
+        for name in ("downloads", "logins", "registrations", "geolocation"):
+            assert (tmp_path / "t" / f"{name}.jsonl").exists()

@@ -1,0 +1,51 @@
+"""Smoke tests for the experiment runners.
+
+Each runner must produce renderable output and its advertised metrics on
+the small scale.  The scenario cache in ``experiments.common`` makes the
+whole module cost one small simulation.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentOutput, standard_config
+from repro.experiments.common import standard_result
+
+#: Experiments that run extra scenarios of their own (exercised by the
+#: benchmark suite; too slow to repeat here).
+HEAVY = {"exp_baselines", "exp_ablation_locality", "exp_ablation_backstop",
+         "exp_ablation_prefetch", "exp_fig5", "exp_lan_updates",
+         "exp_mobility", "exp_fig12"}
+
+LIGHT = [name for name in ALL_EXPERIMENTS if name not in HEAVY]
+
+
+class TestScales:
+    def test_known_scales_resolve(self):
+        for scale in ("small", "standard", "mobility"):
+            cfg = standard_config(scale)
+            assert cfg.population.n_peers > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            standard_config("galactic")
+
+    def test_result_cached_per_scale_and_seed(self):
+        a = standard_result("small", 42)
+        b = standard_result("small", 42)
+        assert a is b
+
+
+@pytest.mark.parametrize("name", LIGHT)
+def test_runner_produces_output(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    out = module.run("small", 42)
+    assert isinstance(out, ExperimentOutput)
+    assert out.name
+    assert len(out.text) > 40
+    assert out.metrics
+    for key, value in out.metrics.items():
+        assert isinstance(value, (int, float)), key
