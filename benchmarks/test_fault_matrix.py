@@ -1,0 +1,25 @@
+"""Benchmark: the fault-matrix sweep (see DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp_fault_matrix
+from benchmarks.conftest import run_experiment
+
+
+def test_fault_matrix(benchmark):
+    """fault matrix: each scenario vs the no-fault baseline (§3.8, §5.2).
+
+    Runs its own reduced traces (one per matrix cell) rather than the
+    shared small-scale fixture, so the measured time is the whole sweep.
+    """
+    out = run_experiment(benchmark, exp_fault_matrix, "small")
+
+    # The baseline window is healthy, per the §5.2 outcome numbers.
+    assert out.metrics["baseline_completed"] >= 0.9
+    # A total control-plane blackout visibly hurts: downloads in the fault
+    # window complete less often or fall back to edge-only delivery.
+    assert (out.metrics["control_plane_blackout_completion_delta"] < 0
+            or out.metrics["control_plane_blackout_fallback_delta"] > 0)
+    # Faults that only degrade the data path must not break completion.
+    assert out.metrics["edge_brownout_completed"] >= 0.9
+    assert out.metrics["churn_storm_completed"] >= 0.9

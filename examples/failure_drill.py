@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Scenario: the §3.8 robustness story, exercised end to end.
+"""Scenario: the §3.8 robustness story, driven by the fault subsystem.
 
 NetSession is built from soft state and fate sharing: CNs can die (peers
 reconnect), DNs can die (RE-ADD rebuilds the directory from the peers), the
 whole control plane can die (downloads fall back to the edge), and
 compromised clients can lie about usage (the accounting cross-check filters
-them).  This drill runs all four while a download is in flight.
+them).  This drill declares the failures as :class:`FaultSpec` objects on a
+timeline, arms a :class:`FaultInjector`, and lets the engine apply and
+revert them deterministically while a download is in flight.
 
 Run:  python examples/failure_drill.py
 """
 
 from repro.core import ContentObject, ContentProvider, NetSessionSystem
 from repro.core.peer import CacheEntry
+from repro.faults import (
+    CNOutage, ControlPlaneBlackout, DNWipe, FaultInjector,
+)
 
 MB = 1024 * 1024
 
@@ -28,14 +33,25 @@ def main() -> None:
     system.publish(obj)
 
     germany = system.world.by_code["DE"]
-    seeders = []
     for _ in range(12):
         s = system.create_peer(country=germany, uploads_enabled=True)
         s.cache[obj.cid] = CacheEntry(obj.cid, completed_at=0.0)
         s.boot()
-        seeders.append(s)
     downloader = system.create_peer(country=germany, uploads_enabled=True)
     downloader.boot()
+
+    # The whole §3.8 gauntlet, declared up front: a CN outage while the
+    # download ramps up, a DN wipe (RE-ADD repopulates the directory), a
+    # rolling-upgrade-style full CN restart, and finally a total blackout.
+    HOUR = 3600.0
+    specs = (
+        CNOutage("cn-crash", start=20.0, duration=60.0, fraction=0.34),
+        DNWipe("dn-crash", start=120.0, duration=0.0, re_add=True),
+        CNOutage("upgrade-push", start=300.0, duration=120.0, fraction=1.0),
+        ControlPlaneBlackout("total-outage", start=7 * HOUR, duration=6 * HOUR),
+    )
+    injector = FaultInjector(system, specs, seed=23)
+    injector.arm()
 
     banner("download starts (hybrid delivery)")
     session = downloader.start_download(obj)
@@ -43,55 +59,50 @@ def main() -> None:
     print(f"progress {session.progress:.0%}, "
           f"{sum(1 for c in session.peer_conns if not c.closed)} peer connections")
 
-    banner("connection node crashes")
-    failed_cn = downloader.cn
-    orphans = system.control.fail_cn(failed_cn)
-    print(f"{orphans} peers orphaned; reconnections are rate-limited")
-    system.run(until=system.sim.now + 60.0)
+    banner("connection nodes crash (cn-crash fault)")
+    system.run(until=90.0)
     print(f"downloader reconnected to {downloader.cn.name}; "
           f"download still {session.state} at {session.progress:.0%}")
-    failed_cn.recover()  # ops bring the node back
 
-    banner("database node crashes (soft state lost)")
-    dn = max(system.control.all_dns, key=lambda d: d.total_registrations())
-    before = dn.total_registrations()
-    answered = system.control.fail_dn(dn)
-    print(f"directory wiped ({before} entries); RE-ADD broadcast answered by "
-          f"{answered} peers; directory now has {dn.total_registrations()} entries")
-
-    banner("rolling software upgrade of the whole control plane")
-    reconnects = system.control.rolling_restart()
-    system.run(until=system.sim.now + 120.0)
-    print(f"all CNs/DNs restarted; {reconnects} reconnects; "
+    banner("database node wipe + rolling upgrade (dn-crash, upgrade-push)")
+    system.run(until=500.0)
+    regs = system.control.total_registrations()
+    print(f"directory rebuilt by RE-ADD: {regs} registrations; "
           f"download {session.state} at {session.progress:.0%}")
 
-    system.run(until=system.sim.now + 6 * 3600)
+    system.run(until=6 * HOUR)
     print(f"\nfirst download finished: {session.state}, "
           f"peer efficiency {session.peer_fraction:.0%}")
 
     banner("total control-plane outage -> edge-only fallback")
-    for cn in system.control.all_cns:
-        cn.fail()
+    system.run(until=7 * HOUR + 60.0)
     newcomer = system.create_peer(country=germany)
     newcomer.boot()
     print(f"newcomer online without any CN (cn={newcomer.cn})")
     fallback = newcomer.start_download(obj)
-    system.run(until=system.sim.now + 6 * 3600)
+    system.run(until=13 * HOUR + 1800.0)
     print(f"fallback download: {fallback.state}, "
           f"{fallback.peer_bytes} peer bytes (everything from the edge)")
 
     banner("accounting attack")
-    for cn in system.control.all_cns:
-        cn.recover()
     attacker = system.create_peer(country=germany)
     attacker.accounting_attacker = True
     attacker.boot()
     attack_session = attacker.start_download(obj)
-    system.run(until=system.sim.now + 6 * 3600)
+    system.run(until=system.sim.now + 6 * HOUR)
     print(f"attacker download {attack_session.state}; reports rejected: "
           f"{len(system.accounting.rejected)} "
           f"({system.accounting.rejected[-1][1] if system.accounting.rejected else '-'})")
     print(f"honest reports accepted: {len(system.accounting.accepted)}")
+
+    banner("injection timeline and recovery gauges")
+    print(injector.timeline_text())
+    for rec in injector.recoveries.values():
+        print(f"{rec.fault}: lost {rec.connected_dip} conns / "
+              f"{rec.registrations_dip} regs; reconnect "
+              f"{'-' if rec.time_to_reconnect is None else f'{rec.time_to_reconnect:.1f}s'}, "
+              f"re-add conv. "
+              f"{'-' if rec.re_add_convergence is None else f'{rec.re_add_convergence:.1f}s'}")
 
 
 if __name__ == "__main__":

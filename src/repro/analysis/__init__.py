@@ -8,6 +8,7 @@ from repro.analysis.benefits import (
     table4_upload_enabled_by_provider,
 )
 from repro.analysis.export import Anonymizer, export_trace, import_trace
+from repro.analysis.faults import fault_impact, window_outcomes
 from repro.analysis.guid_graphs import (
     MobilitySummary, build_secondary_guid_graphs, classify_graph,
     figure12_pattern_census, mobility_summary,
@@ -55,6 +56,7 @@ __all__ = [
     "figure5_efficiency_vs_copies", "figure6_efficiency_vs_peers",
     "figure7_pause_rates", "reliability_outcomes",
     "figure8_country_contributions",
+    "window_outcomes", "fault_impact",
     "TrafficMatrix", "build_traffic_matrix",
     "figure9a_upload_cdf", "figure9b_cumulative_contribution",
     "figure9c_ips_per_as", "figure10_balance_scatter",

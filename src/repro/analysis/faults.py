@@ -1,0 +1,87 @@
+"""Trace-level fault impact: what the log says a fault did to downloads.
+
+The live gauges (time-to-reconnect, RE-ADD convergence) live with the
+injector in :mod:`repro.faults.metrics`; this module computes the
+download-level half of the recovery story from the trace, the way every
+other analysis in §4–§6 works — so a fault sweep is compared against the
+baseline with exactly the §5.2 bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.logstore import LogStore
+from repro.analysis.records import OUTCOME_ABORTED, OUTCOME_COMPLETED, OUTCOME_FAILED
+
+__all__ = ["window_outcomes", "fault_impact"]
+
+
+def window_outcomes(
+    logstore: LogStore,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    *,
+    exclude_prefetch: bool = True,
+) -> dict[str, float]:
+    """Outcome split for downloads whose lifetime overlaps ``[start, end]``.
+
+    With no window, every download counts.  A download overlaps the window
+    when it started before ``end`` and ended at-or-after ``start`` — i.e.
+    it was in flight at some point while the fault held.
+
+    Returns ``downloads`` (count), outcome fractions (``completed`` /
+    ``aborted`` / ``failed``), ``edge_only`` (fraction of p2p-enabled
+    downloads that received zero peer bytes — the §3.8 fallback), and
+    ``mean_peer_fraction`` (mean peer efficiency of p2p-enabled downloads).
+    """
+    records = [
+        r for r in logstore.downloads
+        if not (exclude_prefetch and r.prefetch)
+        and (end is None or r.started_at < end)
+        and (start is None or r.ended_at >= start)
+    ]
+    n = len(records)
+    if n == 0:
+        return {
+            "downloads": 0, "completed": 0.0, "aborted": 0.0, "failed": 0.0,
+            "edge_only": 0.0, "mean_peer_fraction": 0.0,
+        }
+    outcomes = {OUTCOME_COMPLETED: 0, OUTCOME_ABORTED: 0, OUTCOME_FAILED: 0}
+    for r in records:
+        if r.outcome in outcomes:
+            outcomes[r.outcome] += 1
+    p2p = [r for r in records if r.p2p_enabled]
+    edge_only = sum(1 for r in p2p if r.peer_bytes == 0)
+    mean_pf = 0.0
+    if p2p:
+        fractions = [
+            r.peer_bytes / (r.edge_bytes + r.peer_bytes)
+            for r in p2p if r.edge_bytes + r.peer_bytes > 0
+        ]
+        mean_pf = sum(fractions) / len(fractions) if fractions else 0.0
+    return {
+        "downloads": float(n),
+        "completed": outcomes[OUTCOME_COMPLETED] / n,
+        "aborted": outcomes[OUTCOME_ABORTED] / n,
+        "failed": outcomes[OUTCOME_FAILED] / n,
+        "edge_only": edge_only / len(p2p) if p2p else 0.0,
+        "mean_peer_fraction": mean_pf,
+    }
+
+
+def fault_impact(
+    baseline: dict[str, float], faulted: dict[str, float]
+) -> dict[str, float]:
+    """Deltas of a faulted run against its no-fault baseline.
+
+    Positive ``completion_delta`` means the fault *improved* completion
+    (noise); the §5.2-style expectation is a negative completion delta
+    and/or a positive ``fallback_delta`` (more edge-only downloads).
+    """
+    return {
+        "completion_delta": faulted["completed"] - baseline["completed"],
+        "fallback_delta": faulted["edge_only"] - baseline["edge_only"],
+        "peer_efficiency_delta":
+            faulted["mean_peer_fraction"] - baseline["mean_peer_fraction"],
+    }

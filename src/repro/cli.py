@@ -11,6 +11,11 @@ Commands
 ``trace``
     Generate a synthetic trace and export it, anonymized, as JSON lines —
     the shape of the data set the paper's authors worked from.
+``faults``
+    Run one fault-injection drill from the scenario library and print its
+    report; with ``--list``, show the available scenarios.  The report is
+    fully deterministic: the same ``--scenario``/``--seed`` pair prints
+    byte-identical output on every run.
 
 Examples
 --------
@@ -20,6 +25,7 @@ Examples
     python -m repro run exp_offload exp_fig6 --scale small
     python -m repro study --scale standard
     python -m repro trace --out ./trace --scale small
+    python -m repro faults --scenario control_plane_blackout --seed 42
 """
 
 from __future__ import annotations
@@ -63,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--salt", default="netsession-release",
                        help="anonymization salt")
     _add_scale(trace)
+
+    faults = sub.add_parser("faults", help="run a fault-injection drill")
+    faults.add_argument("--scenario", default="control_plane_blackout",
+                        help="scenario name (default: control_plane_blackout)")
+    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument("--at", type=float, default=600.0,
+                        help="fault start, seconds into the run (default: 600)")
+    faults.add_argument("--duration", type=float, default=3600.0,
+                        help="fault hold period, seconds (default: 3600)")
+    faults.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list available scenarios and exit")
 
     return parser
 
@@ -112,6 +129,27 @@ def main(argv: list[str] | None = None) -> int:
         for name, count in sorted(counts.items()):
             print(f"{name}: {count} records")
         print(f"exported to {args.out}")
+        return 0
+
+    if args.command == "faults":
+        from repro.faults import SCENARIOS, run_drill, scenario_names
+
+        if args.list_scenarios:
+            for name, factory in SCENARIOS.items():
+                doc = (factory.__doc__ or "").strip().splitlines()
+                print(f"{name:24s} {doc[0] if doc else ''}")
+            return 0
+        if args.scenario not in SCENARIOS:
+            print(f"unknown scenario: {args.scenario}", file=sys.stderr)
+            print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
+            return 2
+        try:
+            report = run_drill(args.scenario, args.seed,
+                               fault_at=args.at, fault_duration=args.duration)
+        except ValueError as exc:  # bad --at/--duration (spec validation)
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.text)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

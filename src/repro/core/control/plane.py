@@ -129,11 +129,24 @@ class ControlPlane:
 
         Returns the number of orphaned peers scheduled for reconnection.
         """
-        orphans = cn.fail()
+        return self.schedule_reconnects(cn.fail())
+
+    def recover_cn(self, cn: ConnectionNode) -> None:
+        """Restart a crashed CN (ops bring the node back; §3.8)."""
+        cn.recover()
+
+    def schedule_reconnects(self, peers: list["PeerNode"]) -> int:
+        """Schedule rate-limited reconnections for ``peers`` (§3.8).
+
+        The shared token bucket smooths recovery after large-scale failures:
+        a burst up to the limit reconnects within seconds, the rest is
+        spread at the limit rate.  Used after CN crashes and when service is
+        restored after a control-plane blackout.
+        """
         self._refill_tokens()
         delay = 0.0
         rate = self.config.control_plane.reconnect_rate_limit
-        for i, peer in enumerate(orphans):
+        for peer in peers:
             if self._reconnect_tokens >= 1:
                 self._reconnect_tokens -= 1
                 jitter = self.rng.uniform(0.0, 2.0)
@@ -142,7 +155,7 @@ class ControlPlane:
                 delay += 1.0 / rate
                 jitter = delay + self.rng.uniform(0.0, 2.0)
             self.sim.schedule(jitter, peer.reconnect)
-        return len(orphans)
+        return len(peers)
 
     def fail_dn(self, dn: DatabaseNode, *, recover: bool = True) -> int:
         """Crash a DN, losing its soft state; optionally recover via RE-ADD.
@@ -158,6 +171,61 @@ class ControlPlane:
             if cn.alive:
                 answered += cn.broadcast_re_add(self.sim.now)
         return answered
+
+    def blackout(self, network_region: str | None = None) -> int:
+        """Take down every CN and DN (in one region, or everywhere).
+
+        Directory soft state is lost with the DNs.  If any CN survives
+        elsewhere (regional blackout), the orphaned peers are reconnected to
+        it rate-limited; in a total blackout there is nothing to reconnect
+        to and peers fall back to edge-only delivery (§3.8) until
+        :meth:`restore`.  Returns the number of orphaned peers.
+        """
+        orphans: list["PeerNode"] = []
+        for cn in self.all_cns:
+            if cn.alive and (network_region is None or cn.network_region == network_region):
+                orphans.extend(cn.fail())
+        for dn in self.all_dns:
+            if dn.alive and (network_region is None or dn.network_region == network_region):
+                dn.fail()
+        if any(cn.alive for cn in self.all_cns):
+            self.schedule_reconnects(orphans)
+        return len(orphans)
+
+    def restore(self, network_region: str | None = None,
+                peers: list["PeerNode"] | None = None) -> int:
+        """Bring a blacked-out control plane back (in one region, or all).
+
+        DNs recover empty — their soft state is rebuilt by the peers, via
+        the registrations each login performs and the periodic refresh
+        (the RE-ADD path, §3.8).  ``peers`` are the clients to reconnect,
+        rate-limited; pass the online peers that lost their CN.  Returns
+        the number of reconnections scheduled.
+        """
+        for dn in self.all_dns:
+            if not dn.alive and (network_region is None or dn.network_region == network_region):
+                dn.recover()
+        for cn in self.all_cns:
+            if not cn.alive and (network_region is None or cn.network_region == network_region):
+                cn.recover()
+        if peers is None:
+            return 0
+        return self.reconnect_stranded(peers)
+
+    def reconnect_stranded(self, peers: list["PeerNode"]) -> int:
+        """Reconnect the online peers in ``peers`` that lost their CN.
+
+        A recovered CN restarts with an empty connection table, so a
+        peer's stale ``cn`` reference may look alive again — membership
+        in the table is the ground truth for "still connected".
+        """
+        stranded = [
+            p for p in peers
+            if p.online and (
+                p.cn is None or not p.cn.alive or p.guid not in p.cn.connected
+            )
+        ]
+        return self.schedule_reconnects(stranded)
 
     def rolling_restart(self) -> int:
         """Restart every CN and DN in a short timeframe (§3.8 software push).

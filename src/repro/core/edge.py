@@ -65,6 +65,10 @@ class AuthToken:
 class EdgeServer:
     """One edge server: an egress capacity plus byte-serving logs."""
 
+    #: Egress assumed for an unconstrained server when a brownout needs a
+    #: concrete baseline to scale from (matches EdgeCapacityModel's default).
+    ASSUMED_EGRESS_MBPS = 10_000.0
+
     def __init__(self, name: str, network_region: str, egress_mbps: float | None):
         self.name = name
         self.network_region = network_region
@@ -73,6 +77,9 @@ class EdgeServer:
         # bottlenecks an individual client download.
         self.egress = Resource(f"edge:{name}", capacity) if capacity else \
             Resource(f"edge:{name}", None)
+        #: While a brownout fault degrades this server, the original egress
+        #: capacity (possibly None = unconstrained); cleared on recovery.
+        self.pre_brownout: tuple[float | None] | None = None
         #: Trusted per-(guid, cid) byte counts — accounting ground truth.
         self.served_bytes: dict[tuple[str, str], int] = {}
 
@@ -86,6 +93,42 @@ class EdgeServer:
     def total_served(self) -> int:
         """All bytes this server has delivered."""
         return sum(self.served_bytes.values())
+
+    @property
+    def browned_out(self) -> bool:
+        """Is a brownout fault currently degrading this server?"""
+        return self.pre_brownout is not None
+
+    def apply_brownout(self, flows, capacity_factor: float) -> bool:
+        """Degrade this server's egress to ``capacity_factor`` of normal.
+
+        Models partial infrastructure failure (overload, a rack down behind
+        the VIP): the server keeps serving, slowly.  An unconstrained server
+        is scaled from :attr:`ASSUMED_EGRESS_MBPS`.  Flows started while the
+        brownout holds contend for the reduced egress; flows already in
+        flight on a previously *unconstrained* server keep their rate (they
+        were admitted without traversing the egress resource).  Returns
+        False if already browned out — brownouts do not stack.
+        """
+        if not 0 < capacity_factor <= 1.0:
+            raise ValueError(f"capacity_factor must be in (0, 1], got {capacity_factor}")
+        if self.browned_out:
+            return False
+        self.pre_brownout = (self.egress.capacity,)
+        baseline = self.egress.capacity
+        if baseline is None:
+            baseline = mbps(self.ASSUMED_EGRESS_MBPS)
+        flows.set_resource_capacity(self.egress, max(1.0, baseline * capacity_factor))
+        return True
+
+    def clear_brownout(self, flows) -> bool:
+        """Undo :meth:`apply_brownout`, restoring the original egress."""
+        if self.pre_brownout is None:
+            return False
+        (capacity,) = self.pre_brownout
+        self.pre_brownout = None
+        flows.set_resource_capacity(self.egress, capacity)
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<EdgeServer {self.name} region={self.network_region}>"
@@ -137,6 +180,12 @@ class EdgeNetwork:
     def lookup(self, cid: str) -> ContentObject:
         """Fetch the catalog entry; KeyError if not published."""
         return self.catalog[cid]
+
+    def servers_in(self, network_region: str | None) -> list[EdgeServer]:
+        """The servers in a network region; all servers when region is None."""
+        if network_region is None:
+            return list(self.servers)
+        return list(self._by_region.get(network_region, ()))
 
     # ----------------------------------------------------------- interaction
 

@@ -119,6 +119,8 @@ class PeerNode:
         # Counters for tests and the §6.2 analyses.
         self.boot_count = 0
         self.setting_changes = 0
+        #: Times the NAT in front of this machine re-assigned its mapping.
+        self.nat_rebinds = 0
 
     # ------------------------------------------------------ locality shortcuts
 
@@ -225,6 +227,32 @@ class PeerNode:
         if not self.online:
             return
         self.cn = self.system.control.login(self)
+
+    def churn(self, downtime: float) -> None:
+        """Knock an online peer offline for ``downtime`` seconds.
+
+        The fault layer's churn storms use this: the machine drops exactly
+        as a real disconnect does (downloads pause, uploads die, directory
+        entries are withdrawn) and comes back through the normal
+        :meth:`go_online` path after the gap.
+        """
+        if downtime < 0:
+            raise ValueError(f"downtime must be non-negative, got {downtime}")
+        if not self.online:
+            return
+        self.go_offline()
+        self.system.sim.schedule(downtime, self.go_online)
+
+    def rebind_nat(self, profile: NATProfile) -> None:
+        """The NAT in front of this peer re-assigned its mapping.
+
+        Existing transfers survive (established mappings persist); new
+        hole-punch attempts see the new behaviour.  The directory keeps the
+        stale reported type until the next registration refresh — the same
+        window of inconsistency the production system tolerates.
+        """
+        self.nat_profile = profile
+        self.nat_rebinds += 1
 
     # ----------------------------------------------------------------- downloads
 

@@ -1,0 +1,166 @@
+"""The injector engine: deterministic application and reversal of faults.
+
+The :class:`FaultInjector` takes a system plus a set of
+:class:`~repro.faults.spec.FaultSpec` s, registers apply/revert callbacks
+with the :class:`~repro.net.sim.Simulator` event loop, and keeps a
+timeline of everything it did.  Determinism is the whole point: the same
+(specs, seed) always produces the same injection timeline, because each
+fault draws from its own string-seeded RNG and every action happens at a
+declared simulated time.
+
+Around each fault the injector snapshots control-plane gauges and, once
+recovery begins, runs a :class:`~repro.faults.metrics.RecoveryTracker`
+that measures time-to-reconnect and RE-ADD convergence.  Fault lifecycle
+events are also reported to the :class:`MonitoringService` — the §3.6
+monitoring nodes see the chaos the way they would see real incidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.messages import CrashReport
+from repro.faults.metrics import FaultRecovery, RecoveryTracker
+from repro.faults.spec import FaultSpec, InjectionContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import NetSessionSystem
+
+__all__ = ["FaultInjector", "InjectionEvent"]
+
+#: GUID under which injector lifecycle reports appear in monitoring.
+INJECTOR_GUID = "fault-injector"
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One entry of the injection timeline."""
+
+    time: float
+    fault: str
+    phase: str  # "applied" | "reverted"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f"  {self.detail}" if self.detail else ""
+        return f"t={self.time:10.1f}s  {self.phase:9s}  {self.fault}{suffix}"
+
+
+class FaultInjector:
+    """Applies a fault schedule to a live system, deterministically."""
+
+    def __init__(
+        self,
+        system: "NetSessionSystem",
+        specs: Iterable[FaultSpec],
+        *,
+        seed: int = 0,
+        track_recovery: bool = True,
+        recovery_fraction: float = 0.9,
+        recovery_sample_interval: float = 5.0,
+        recovery_timeout: float = 6 * 3600.0,
+    ):
+        specs = sorted(specs, key=lambda s: (s.start, s.name))
+        names = [s.name for s in specs]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate fault names: {sorted(dupes)}")
+        self.system = system
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.track_recovery = track_recovery
+        self.recovery_fraction = recovery_fraction
+        self.recovery_sample_interval = recovery_sample_interval
+        self.recovery_timeout = recovery_timeout
+        #: Chronological record of every apply/revert performed.
+        self.timeline: list[InjectionEvent] = []
+        #: Per-fault recovery measurements, keyed by fault name.
+        self.recoveries: dict[str, FaultRecovery] = {}
+        self._armed = False
+
+    # ------------------------------------------------------------------ arming
+
+    def arm(self) -> None:
+        """Schedule every fault with the simulator.  Call once, before run."""
+        if self._armed:
+            raise RuntimeError("injector is already armed")
+        self._armed = True
+        for spec in self.specs:
+            self.system.sim.schedule_at(
+                spec.start, lambda s=spec: self._apply(s)
+            )
+
+    # --------------------------------------------------------------- lifecycle
+
+    def _context(self, spec: FaultSpec) -> InjectionContext:
+        return InjectionContext(system=self.system, rng=spec.make_rng(self.seed))
+
+    def _apply(self, spec: FaultSpec) -> None:
+        control = self.system.control
+        recovery = FaultRecovery(
+            fault=spec.name,
+            kind=spec.kind(),
+            applied_at=self.system.sim.now,
+            pre_connected=control.connected_peer_count(),
+            pre_registrations=control.total_registrations(),
+        )
+        ctx = self._context(spec)
+        token = spec.apply(ctx)
+        recovery.post_connected = control.connected_peer_count()
+        recovery.post_registrations = control.total_registrations()
+        self.recoveries[spec.name] = recovery
+        self._record(spec, "applied", spec.describe())
+        if spec.instantaneous:
+            self._finish(spec, ctx, token, reverted=False)
+        else:
+            self.system.sim.schedule(
+                spec.duration, lambda: self._revert(spec, ctx, token)
+            )
+
+    def _revert(self, spec: FaultSpec, ctx: InjectionContext, token: object) -> None:
+        spec.revert(ctx, token)
+        self._finish(spec, ctx, token, reverted=True)
+
+    def _finish(self, spec: FaultSpec, ctx: InjectionContext, token: object,
+                *, reverted: bool) -> None:
+        recovery = self.recoveries[spec.name]
+        recovery.reverted_at = self.system.sim.now
+        if reverted:
+            self._record(spec, "reverted")
+        if self.track_recovery:
+            RecoveryTracker(
+                self.system, recovery,
+                recovery_fraction=self.recovery_fraction,
+                sample_interval=self.recovery_sample_interval,
+                timeout=self.recovery_timeout,
+            ).start()
+
+    def _record(self, spec: FaultSpec, phase: str, detail: str = "") -> None:
+        event = InjectionEvent(
+            time=self.system.sim.now, fault=spec.name, phase=phase, detail=detail,
+        )
+        self.timeline.append(event)
+        self.system.control.monitoring.report(CrashReport(
+            guid=INJECTOR_GUID,
+            kind=f"fault-{phase}",
+            detail=f"{spec.name}: {spec.kind()}",
+            timestamp=event.time,
+        ))
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def pending(self) -> int:
+        """Faults armed but not yet applied."""
+        return len(self.specs) - len(self.recoveries)
+
+    def timeline_text(self) -> str:
+        """The injection timeline, one line per event (deterministic)."""
+        return "\n".join(str(e) for e in self.timeline)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultInjector faults={len(self.specs)} "
+            f"applied={len(self.recoveries)} seed={self.seed}>"
+        )

@@ -1,0 +1,132 @@
+"""The scenario library: named, ready-to-run fault schedules.
+
+Each scenario is a factory ``(at, duration) -> tuple[FaultSpec, ...]`` so
+callers (the fault-matrix experiment, the CLI drill, examples) can slide
+the same canonical failure onto their own timeline.  Scenarios compose —
+``rolling_upgrade`` is a staggered sequence of CN outages and DN wipes,
+the way a §3.8 software push actually rolls through a deployment.
+
+Adding a scenario is one entry in :data:`SCENARIOS`; adding a new *kind*
+of fault is a :class:`~repro.faults.spec.FaultSpec` subclass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.spec import (
+    CNOutage, ControlPlaneBlackout, DNWipe, EdgeBrownout, FaultSpec,
+    FlakyUploader, LinkDegradation, NATRebind, PeerChurnStorm,
+)
+
+__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+
+#: Default position of a scenario inside a run, seconds.
+DEFAULT_AT = 1800.0
+#: Default hold period for faults that have one, seconds.
+DEFAULT_DURATION = 3600.0
+
+ScenarioFactory = Callable[[float, float], tuple[FaultSpec, ...]]
+
+
+def _control_plane_blackout(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """Total control-plane failure: every CN and DN down (§3.8 worst case)."""
+    return (ControlPlaneBlackout("blackout", start=at, duration=duration),)
+
+
+def _cn_flap(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """Half the CNs crash and later restart; peers reconnect rate-limited."""
+    return (CNOutage("cn-flap", start=at, duration=duration, fraction=0.5),)
+
+
+def _dn_wipe(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """Every DN loses its soft state; RE-ADD rebuilds the directory."""
+    return (DNWipe("dn-wipe", start=at, duration=0.0, re_add=True),)
+
+
+def _edge_brownout(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """Edge egress collapses to 5% fleet-wide; the swarm carries the load."""
+    return (EdgeBrownout("edge-brownout", start=at, duration=duration,
+                         capacity_factor=0.05),)
+
+
+def _link_degradation(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """A third of all access links degrade to 20% capacity (congestion)."""
+    return (LinkDegradation("link-degradation", start=at, duration=duration,
+                            fraction=0.33, down_factor=0.2, up_factor=0.2),)
+
+
+def _nat_rebind(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """A quarter of the population's NAT mappings rebind (CPE/CGN churn)."""
+    return (NATRebind("nat-rebind", start=at, duration=duration, fraction=0.25),)
+
+
+def _churn_storm(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """A disconnect burst: 40% of online peers drop and return."""
+    return (PeerChurnStorm("churn-storm", start=at, duration=max(duration, 60.0),
+                           fraction=0.4, downtime=(30.0, 600.0)),)
+
+
+def _flaky_uploaders(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """A fifth of uploaders start corrupting 5% of the pieces they serve."""
+    return (FlakyUploader("flaky-uploaders", start=at, duration=duration,
+                          fraction=0.2, corruption_prob=0.05),)
+
+
+def _rolling_upgrade(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """A software push rolls through the control plane in three waves."""
+    wave = max(duration, 60.0) / 3.0
+    return (
+        DNWipe("upgrade-dns", start=at, duration=0.0, re_add=True),
+        CNOutage("upgrade-cns-a", start=at + wave, duration=wave, fraction=0.5),
+        CNOutage("upgrade-cns-b", start=at + 2 * wave, duration=wave, fraction=1.0),
+    )
+
+
+def _perfect_storm(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """Everything at once: blackout + churn + brownout + flaky uploaders."""
+    d = max(duration, 60.0)
+    return (
+        ControlPlaneBlackout("storm-blackout", start=at, duration=d),
+        PeerChurnStorm("storm-churn", start=at, duration=d,
+                       fraction=0.3, downtime=(60.0, 900.0)),
+        EdgeBrownout("storm-brownout", start=at + d / 2, duration=d,
+                     capacity_factor=0.2),
+        FlakyUploader("storm-flaky", start=at, duration=2 * d,
+                      fraction=0.15, corruption_prob=0.03),
+    )
+
+
+SCENARIOS: dict[str, ScenarioFactory] = {
+    "control_plane_blackout": _control_plane_blackout,
+    "cn_flap": _cn_flap,
+    "dn_wipe": _dn_wipe,
+    "edge_brownout": _edge_brownout,
+    "link_degradation": _link_degradation,
+    "nat_rebind": _nat_rebind,
+    "churn_storm": _churn_storm,
+    "flaky_uploaders": _flaky_uploaders,
+    "rolling_upgrade": _rolling_upgrade,
+    "perfect_storm": _perfect_storm,
+}
+
+
+def scenario_names() -> list[str]:
+    """The library's scenario names, in declaration order."""
+    return list(SCENARIOS)
+
+
+def build_scenario(
+    name: str,
+    *,
+    at: float = DEFAULT_AT,
+    duration: float = DEFAULT_DURATION,
+) -> tuple[FaultSpec, ...]:
+    """Instantiate a named scenario on a concrete timeline."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+    return factory(at, duration)

@@ -1,0 +1,371 @@
+"""The declarative fault model: what can break, when, and for how long.
+
+A :class:`FaultSpec` is a frozen dataclass describing one fault: a unique
+name, an absolute start time, a duration (0 = instantaneous), and whatever
+scope selector the fault kind needs (a network region, a population
+fraction).  Specs carry their own behaviour — ``apply()`` breaks things and
+returns an opaque revert token, ``revert()`` consumes it — so the injector
+engine stays generic and a custom fault is one subclass away (see
+DESIGN.md's "Fault injection" section).
+
+Randomness is per fault: each spec derives its own RNG from the scenario
+seed and its name (string seeding, so the stream is stable across
+processes regardless of ``PYTHONHASHSEED``).  Two specs never share a
+stream, which means adding a fault to a scenario cannot perturb how an
+existing fault selects its victims.
+
+The faults map to the paper's robustness story (§3.8): CN outages and DN
+wipes exercise reconnection and RE-ADD; a control-plane blackout exercises
+the edge-only fallback; brownouts, link degradation, NAT rebinds, churn
+storms, and flaky uploaders exercise the data-path defences (backstop,
+endgame steal, piece verification).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import NetSessionSystem
+
+__all__ = [
+    "FaultSpec", "InjectionContext",
+    "CNOutage", "DNWipe", "ControlPlaneBlackout", "EdgeBrownout",
+    "LinkDegradation", "NATRebind", "PeerChurnStorm", "FlakyUploader",
+]
+
+T = TypeVar("T")
+
+
+@dataclass
+class InjectionContext:
+    """What a fault handler gets to work with: the system and its own RNG."""
+
+    system: "NetSessionSystem"
+    rng: random.Random
+
+    def select(self, items: Sequence[T], fraction: float) -> list[T]:
+        """Deterministically sample ``fraction`` of ``items`` (at least one).
+
+        ``items`` must be in a stable order (lists built in creation order
+        are); the draw comes from the fault's own RNG.
+        """
+        items = list(items)
+        if not items or fraction <= 0:
+            return []
+        k = min(len(items), max(1, round(fraction * len(items))))
+        return self.rng.sample(items, k)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: name, timing, and (in subclasses) scope."""
+
+    name: str
+    #: Absolute simulated start time, seconds.
+    start: float
+    #: Seconds until the fault is reverted; 0 means instantaneous (the
+    #: fault happens and recovery begins immediately, e.g. a DN wipe).
+    duration: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("fault needs a non-empty name")
+        if self.start < 0:
+            raise ValueError(f"fault {self.name!r}: start must be >= 0, got {self.start}")
+        if self.duration < 0:
+            raise ValueError(
+                f"fault {self.name!r}: duration must be >= 0, got {self.duration}"
+            )
+
+    @property
+    def instantaneous(self) -> bool:
+        """True when the fault has no hold period (apply == the whole event)."""
+        return self.duration <= 0
+
+    @property
+    def end(self) -> float:
+        """Absolute time the fault is reverted."""
+        return self.start + self.duration
+
+    def make_rng(self, seed: int) -> random.Random:
+        """The fault's private RNG, stable across processes.
+
+        String seeding hashes through SHA-512 inside ``random.Random``, so
+        the stream does not depend on ``PYTHONHASHSEED``.
+        """
+        return random.Random(f"fault:{seed}:{self.name}")
+
+    def apply(self, ctx: InjectionContext) -> object:
+        """Break things.  Returns an opaque token ``revert`` will consume."""
+        raise NotImplementedError
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        """Undo the fault (restore capacity, restart nodes...).  Default no-op:
+        instantaneous faults and faults whose recovery is driven by the
+        system itself (RE-ADD, reconnection) need nothing here."""
+
+    def describe(self) -> str:
+        """One-line human summary for timelines and reports."""
+        window = "instant" if self.instantaneous else f"{self.duration:.0f}s"
+        return f"{self.kind()} at t={self.start:.0f}s ({window})"
+
+    @classmethod
+    def kind(cls) -> str:
+        """Stable identifier of the fault class for reports."""
+        return cls.__name__
+
+
+# --------------------------------------------------------------- control plane
+
+
+@dataclass(frozen=True)
+class CNOutage(FaultSpec):
+    """Crash a set of connection nodes; restart them when the fault ends.
+
+    Connected peers are orphaned and reconnect elsewhere, rate-limited
+    (§3.8).  With ``fraction=1.0`` and no surviving region this shades into
+    a control-plane blackout for queries — use
+    :class:`ControlPlaneBlackout` when the DNs should go too.
+    """
+
+    #: Restrict to one network region; None = fleet-wide.
+    region: str | None = None
+    #: Fraction of the in-scope, alive CNs to crash.
+    fraction: float = 1.0
+
+    def apply(self, ctx: InjectionContext) -> object:
+        plane = ctx.system.control
+        pool = [
+            cn for cn in plane.all_cns
+            if cn.alive and (self.region is None or cn.network_region == self.region)
+        ]
+        victims = ctx.select(pool, self.fraction)
+        for cn in victims:
+            plane.fail_cn(cn)
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        plane = ctx.system.control
+        for cn in token:
+            plane.recover_cn(cn)
+        # Victims' peers already reconnected at crash time *if* a CN was
+        # alive to take them; after a full outage they were stranded with
+        # no CN at all and retry once service returns (§3.8).
+        plane.reconnect_stranded(ctx.system.all_peers)
+
+
+@dataclass(frozen=True)
+class DNWipe(FaultSpec):
+    """Crash database nodes, losing their soft state (§3.8).
+
+    Instantaneous (``duration=0``) with ``re_add=True`` models the
+    fail-and-recover cycle the paper describes: the node restarts empty and
+    the CNs broadcast RE-ADD so peers repopulate the directory.  With a
+    duration, the DNs stay down (queries degrade) and recover at the end.
+    """
+
+    region: str | None = None
+    fraction: float = 1.0
+    #: Broadcast RE-ADD on recovery so peers re-list their stored files.
+    re_add: bool = True
+
+    def apply(self, ctx: InjectionContext) -> object:
+        plane = ctx.system.control
+        pool = [
+            dn for dn in plane.all_dns
+            if dn.alive and (self.region is None or dn.network_region == self.region)
+        ]
+        victims = ctx.select(pool, self.fraction)
+        if self.instantaneous:
+            for dn in victims:
+                plane.fail_dn(dn, recover=self.re_add)
+                if not self.re_add:
+                    dn.recover()
+            return []
+        for dn in victims:
+            dn.fail()
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        plane = ctx.system.control
+        now = ctx.system.sim.now
+        for dn in token:
+            dn.recover()
+            if self.re_add:
+                for cn in plane.cns_by_region.get(dn.network_region, ()):
+                    if cn.alive:
+                        cn.broadcast_re_add(now)
+
+
+@dataclass(frozen=True)
+class ControlPlaneBlackout(FaultSpec):
+    """Every CN and DN down (in a region, or everywhere) for the duration.
+
+    The §3.8 worst case: peers that cannot reach any CN still download,
+    edge-only.  On restore the DNs come back empty and are repopulated by
+    peer logins and registration refreshes; online peers are reconnected
+    rate-limited through the plane's shared token bucket.
+    """
+
+    region: str | None = None
+
+    def apply(self, ctx: InjectionContext) -> object:
+        ctx.system.control.blackout(self.region)
+        return None
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        ctx.system.control.restore(self.region, peers=ctx.system.all_peers)
+
+
+# ------------------------------------------------------------------- data path
+
+
+@dataclass(frozen=True)
+class EdgeBrownout(FaultSpec):
+    """Degrade edge-server egress to a fraction of normal capacity.
+
+    The infrastructure half of the hybrid weakens: peer-assisted downloads
+    lean on the swarm, edge-only downloads slow down.  This is the scenario
+    where peer assistance is a *reliability* feature, not just a cost one.
+    """
+
+    region: str | None = None
+    fraction: float = 1.0
+    #: Remaining egress as a fraction of normal.
+    capacity_factor: float = 0.1
+
+    def apply(self, ctx: InjectionContext) -> object:
+        servers = ctx.system.edge.servers_in(self.region)
+        victims = [
+            s for s in ctx.select(servers, self.fraction)
+            if s.apply_brownout(ctx.system.flows, self.capacity_factor)
+        ]
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        for server in token:
+            server.clear_brownout(ctx.system.flows)
+
+
+@dataclass(frozen=True)
+class LinkDegradation(FaultSpec):
+    """Degrade a fraction of peers' access links (congestion, line faults).
+
+    Both directions shrink; in-flight flows are re-allocated immediately.
+    The edge backstop should absorb most of the damage for downloads whose
+    *uploaders* are hit.
+    """
+
+    fraction: float = 0.25
+    down_factor: float = 0.2
+    up_factor: float = 0.2
+
+    def apply(self, ctx: InjectionContext) -> object:
+        flows = ctx.system.flows
+        victims = [
+            peer for peer in ctx.select(ctx.system.all_peers, self.fraction)
+            if peer.link.degrade(flows, self.down_factor, self.up_factor)
+        ]
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        flows = ctx.system.flows
+        for peer in token:
+            peer.link.restore(flows)
+
+
+@dataclass(frozen=True)
+class NATRebind(FaultSpec):
+    """Re-draw the NAT profile of a fraction of peers (CPE reboots, CGN churn).
+
+    The directory keeps each victim's stale reported type until its next
+    refresh, so candidate selection temporarily works from wrong
+    connectivity data — the §3.7 matching degrades exactly as it would in
+    production.  With a duration, the original profiles return at the end;
+    instantaneous rebinds are permanent.
+    """
+
+    fraction: float = 0.2
+
+    def apply(self, ctx: InjectionContext) -> object:
+        nat_model = ctx.system.nat_model
+        victims = []
+        for peer in ctx.select(ctx.system.all_peers, self.fraction):
+            old = peer.nat_profile
+            peer.rebind_nat(nat_model.rebind(old, ctx.rng))
+            victims.append((peer, old))
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        if self.instantaneous:
+            return
+        for peer, old in token:
+            peer.rebind_nat(old)
+
+
+@dataclass(frozen=True)
+class PeerChurnStorm(FaultSpec):
+    """A burst of disconnects: a fraction of online peers drop and return.
+
+    Each victim goes offline at a random moment inside the storm window and
+    comes back after a random downtime — downloads pause/resume, uploads
+    die and are replaced, directory entries are withdrawn and re-added.
+    Requires a positive duration (a zero-length storm is no storm).
+    """
+
+    fraction: float = 0.3
+    #: (low, high) seconds a churned peer stays offline.
+    downtime: tuple[float, float] = (30.0, 300.0)
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"fault {self.name!r}: a churn storm needs a positive duration")
+        lo, hi = self.downtime
+        if lo < 0 or hi < lo:
+            raise ValueError(f"fault {self.name!r}: invalid downtime range {self.downtime}")
+
+    def apply(self, ctx: InjectionContext) -> object:
+        sim = ctx.system.sim
+        online = [p for p in ctx.system.all_peers if p.online]
+        lo, hi = self.downtime
+        for peer in ctx.select(online, self.fraction):
+            offset = ctx.rng.uniform(0.0, self.duration)
+            downtime = ctx.rng.uniform(lo, hi)
+            sim.schedule(offset, lambda p=peer, d=downtime: p.churn(d))
+        return None
+
+
+@dataclass(frozen=True)
+class FlakyUploader(FaultSpec):
+    """Raise the piece-corruption probability of a fraction of uploaders.
+
+    Exercises the §3.5 integrity defences end to end: hash verification
+    discards bad pieces, repeat offenders get their connections dropped,
+    and only a download drowning in corruption fails with a system cause.
+    """
+
+    fraction: float = 0.2
+    corruption_prob: float = 0.05
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0 <= self.corruption_prob <= 1:
+            raise ValueError(
+                f"fault {self.name!r}: corruption_prob out of range: {self.corruption_prob}"
+            )
+
+    def apply(self, ctx: InjectionContext) -> object:
+        uploaders = [p for p in ctx.system.all_peers if p.uploads_enabled]
+        victims = []
+        for peer in ctx.select(uploaders, self.fraction):
+            victims.append((peer, peer.piece_corruption_prob))
+            peer.piece_corruption_prob = self.corruption_prob
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        for peer, old_prob in token:
+            peer.piece_corruption_prob = old_prob

@@ -205,6 +205,27 @@ class FlowNetwork:
         flow.cap = cap
         self._reallocate(self._component(flow))
 
+    def set_resource_capacity(self, resource: Resource, capacity: Optional[float]) -> None:
+        """Change a shared resource's capacity mid-simulation.
+
+        Used by the fault-injection layer (edge brownouts, link degradation):
+        flows currently crossing the resource are settled at their old rates
+        and re-allocated under the new capacity.  ``None`` lifts the
+        constraint entirely.
+        """
+        if capacity is not None and capacity <= 0:
+            raise ValueError(
+                f"resource {resource.name!r} capacity must be positive, got {capacity}"
+            )
+        if capacity == resource.capacity:
+            return
+        resource.capacity = capacity
+        component: set[Flow] = set()
+        for flow in list(resource.flows):
+            if flow.active and flow not in component:
+                component |= self._component(flow)
+        self._reallocate(component)
+
     def throughput_snapshot(self) -> dict[int, float]:
         """Current rate of every active flow, keyed by flow id."""
         return {f.flow_id: f.rate for f in self.active_flows}

@@ -58,6 +58,9 @@ class AccessLink:
     downlink: Resource
     uplink: Resource
     tier: str
+    #: While a fault degrades this link, the original (down, up) capacities
+    #: in bytes/second; None when the link is healthy.
+    pre_degradation: tuple[float, float] | None = None
 
     @property
     def down_bps(self) -> float:
@@ -75,6 +78,39 @@ class AccessLink:
     def asymmetry(self) -> float:
         """Downstream/upstream capacity ratio."""
         return self.down_bps / self.up_bps
+
+    @property
+    def degraded(self) -> bool:
+        """Is a fault currently degrading this link?"""
+        return self.pre_degradation is not None
+
+    def degrade(self, flows, down_factor: float, up_factor: float) -> bool:
+        """Scale both directions down (brownout, congestion, line fault).
+
+        In-flight flows are re-allocated at the reduced capacity.  Returns
+        False (and does nothing) if the link is already degraded — faults do
+        not stack, which keeps apply/revert symmetric.
+        """
+        if not 0 < down_factor <= 1.0 or not 0 < up_factor <= 1.0:
+            raise ValueError(
+                f"degradation factors must be in (0, 1], got {down_factor}/{up_factor}"
+            )
+        if self.degraded:
+            return False
+        self.pre_degradation = (self.down_bps, self.up_bps)
+        flows.set_resource_capacity(self.downlink, max(1.0, self.down_bps * down_factor))
+        flows.set_resource_capacity(self.uplink, max(1.0, self.up_bps * up_factor))
+        return True
+
+    def restore(self, flows) -> bool:
+        """Undo :meth:`degrade`, re-allocating flows at full capacity."""
+        if self.pre_degradation is None:
+            return False
+        down, up = self.pre_degradation
+        self.pre_degradation = None
+        flows.set_resource_capacity(self.downlink, down)
+        flows.set_resource_capacity(self.uplink, up)
+        return True
 
 
 class BroadbandModel:

@@ -108,14 +108,30 @@ class NATModel:
         self._weights = [self._mix[t] / total for t in self._types]
         self.misclassify_prob = misclassify_prob
 
-    def sample(self) -> NATProfile:
-        """Draw a peer's NAT profile (true type + STUN-reported type)."""
-        true_type = self._rng.choices(self._types, weights=self._weights, k=1)[0]
+    def sample(self, rng: random.Random | None = None) -> NATProfile:
+        """Draw a peer's NAT profile (true type + STUN-reported type).
+
+        ``rng`` overrides the model's own stream — the fault-injection layer
+        passes a per-fault RNG so rebind storms are reproducible without
+        perturbing the population's draw sequence.
+        """
+        rng = self._rng if rng is None else rng
+        true_type = rng.choices(self._types, weights=self._weights, k=1)[0]
         reported = true_type
-        if self._rng.random() < self.misclassify_prob:
+        if rng.random() < self.misclassify_prob:
             others = [t for t in self._types if t is not true_type]
-            reported = self._rng.choice(others)
+            reported = rng.choice(others)
         return NATProfile(true_type=true_type, reported_type=reported)
+
+    def rebind(self, profile: NATProfile, rng: random.Random) -> NATProfile:
+        """Model a NAT rebind: the middlebox re-assigns this peer's mapping.
+
+        CPE reboots and carrier-grade NAT churn can change a peer's
+        effective NAT behaviour mid-session; the directory keeps the stale
+        reported type until the peer's next registration refresh.  Returns a
+        fresh profile drawn from the same mix (possibly the same types).
+        """
+        return self.sample(rng=rng)
 
     def classify(self, profile: NATProfile) -> NATType:
         """Run a (repeat) STUN probe: returns the reported type."""

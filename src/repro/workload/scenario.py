@@ -22,6 +22,8 @@ from repro.analysis.logstore import LogStore
 from repro.core.config import SystemConfig
 from repro.core.peer import CacheEntry
 from repro.core.system import NetSessionSystem
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
 from repro.net.geo import GeoDatabase, World, build_core_world
 from repro.net.topology import ASTopology, build_topology
 from repro.workload.behavior import BehaviorConfig, UserBehavior
@@ -60,6 +62,11 @@ class ScenarioConfig:
     #: with this probability, overriding the per-provider Table 4 mix —
     #: the "what if every customer shipped like Customer D" sweep lever.
     upload_rate_override: float | None = None
+    #: Fault schedule injected into the run (see :mod:`repro.faults`); the
+    #: empty default keeps every existing scenario fault-free.  Faults draw
+    #: from their own seeded RNGs, so adding one does not perturb the
+    #: workload's random streams.
+    faults: tuple[FaultSpec, ...] = ()
     #: Warm start: expected number of pre-trace cached copies per peer.  The
     #: paper's October 2012 window opens on a five-year-old deployment whose
     #: peers already hold popular content; a cold start would understate
@@ -86,6 +93,9 @@ class ScenarioResult:
     mobility_census: dict[str, int]
     cloning_census: dict[str, int]
     finalized_downloads: int
+    #: The fault injector, when the config scheduled faults (else None);
+    #: exposes the injection timeline and the §3.8 recovery gauges.
+    injector: FaultInjector | None = None
 
     @property
     def logstore(self) -> LogStore:
@@ -204,6 +214,11 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
     demand.on_session_started = behavior.attach
     demand.schedule_all()
 
+    injector = None
+    if cfg.faults:
+        injector = FaultInjector(system, cfg.faults, seed=cfg.seed ^ 0xFA17)
+        injector.arm()
+
     if cfg.predictive_placement:
         from repro.core.placement import PredictivePlacer
 
@@ -222,4 +237,5 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
         mobility_census=mobility_census,
         cloning_census=cloning_census,
         finalized_downloads=finalized,
+        injector=injector,
     )

@@ -204,3 +204,62 @@ class TestRecurring:
     def test_nonpositive_interval_rejected(self):
         with pytest.raises(SimulationError):
             Simulator().every(0.0, lambda: None)
+
+    def test_cancel_recurring_from_its_own_callback(self):
+        # A recurring callback that decides "I'm done" mid-fire must be able
+        # to cancel itself; tick() re-checks cancelled after the callback.
+        sim = Simulator()
+        seen = []
+        event = None
+        def cb():
+            seen.append(sim.now)
+            if len(seen) == 3:
+                event.cancel()
+        event = sim.every(10.0, cb)
+        sim.run(until=100.0)
+        assert seen == [10.0, 20.0, 30.0]
+
+    def test_cancel_recurring_from_own_callback_then_nothing_pending(self):
+        sim = Simulator()
+        event = None
+        def cb():
+            event.cancel()
+        event = sim.every(5.0, cb)
+        sim.run(until=100.0)
+        assert sim.pending_count() == 0
+        assert not event.pending
+
+
+class TestEdgeCases:
+    def test_schedule_at_exactly_now(self):
+        # An absolute time equal to the clock is not "in the past": it runs
+        # after the current event, at the same timestamp.
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(10.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10.0]
+        assert sim.now == 10.0
+
+    def test_schedule_at_now_from_inside_callback(self):
+        sim = Simulator()
+        order = []
+        def outer():
+            order.append("outer")
+            sim.schedule_at(sim.now, lambda: order.append("inner"))
+        sim.schedule(5.0, outer)
+        sim.schedule(5.0, lambda: order.append("sibling"))
+        sim.run()
+        assert order == ["outer", "sibling", "inner"]
+
+    def test_same_time_mixed_sources_fire_in_scheduling_order(self):
+        # One-shots and a recurring timer landing on the same timestamp
+        # fire in the order they were (re)scheduled: the recurring event
+        # re-enters the heap when it fires, so at t=20 it was scheduled
+        # (at t=10) before the one-shot created at t=15.
+        sim = Simulator()
+        order = []
+        sim.every(10.0, lambda: order.append(("every", sim.now)))
+        sim.schedule(15.0, lambda: sim.schedule(5.0, lambda: order.append(("oneshot", sim.now))))
+        sim.run(until=25.0)
+        assert order == [("every", 10.0), ("every", 20.0), ("oneshot", 20.0)]

@@ -44,3 +44,28 @@ class TestCommands:
                      "--scale", "small", "--seed", "7"]) == 0
         for name in ("downloads", "logins", "registrations", "geolocation"):
             assert (tmp_path / "t" / f"{name}.jsonl").exists()
+
+
+class TestFaultsCommand:
+    def test_list_scenarios(self, capsys):
+        from repro.faults import scenario_names
+
+        assert main(["faults", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_unknown_scenario_fails(self, capsys):
+        assert main(["faults", "--scenario", "meteor_strike"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_drill_output_is_deterministic(self, capsys):
+        args = ["faults", "--scenario", "dn_wipe", "--seed", "7",
+                "--duration", "600"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "injection timeline" in first
+        assert "recovery metrics" in first
