@@ -1,0 +1,213 @@
+"""Sim-core benchmarks: the batched allocation engine vs the reference.
+
+Two workloads, both run under the batched (default) and the reference
+per-mutation settlement policy (``SystemConfig.flow_batching=False`` /
+``FlowNetwork(batching=False)``):
+
+* a **swarm-burst microbenchmark** driving a raw :class:`FlowNetwork`
+  with the exact pattern the engine targets — same-timestamp bursts of
+  flow starts/aborts/cap changes (swarm connection churn) plus periodic
+  capacity waves over half the links (region-style faults);
+* an **end-to-end scenario** through :mod:`repro.workload` with a fault
+  schedule (link-degradation waves, churn storms, an edge brownout).
+
+Both policies must produce identical completion/abort counts — the
+benchmark doubles as a coarse equivalence check (the fine-grained one
+lives in ``tests/net/test_flow_batching.py``).  Results are written to
+``BENCH_simcore.json`` at the repo root, the perf baseline the CI smoke
+job prints on every PR.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.faults.spec import EdgeBrownout, LinkDegradation, PeerChurnStorm
+from repro.net.flows import FlowNetwork, Resource
+from repro.net.links import mbps
+from repro.net.sim import Simulator
+from repro.workload import (
+    CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig, run_scenario,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_simcore.json"
+
+#: Collected by the tests, dumped once at module teardown.
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_results():
+    yield
+    if RESULTS:
+        BENCH_PATH.write_text(
+            json.dumps(RESULTS, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote {BENCH_PATH}")
+
+
+def _record(name: str, batched, reference) -> None:
+    """Store a batched/reference pair plus the derived ratios."""
+    b_wall, b_stats = batched
+    r_wall, r_stats = reference
+    RESULTS[name] = {
+        "batched": {"wall_seconds": round(b_wall, 3), **b_stats},
+        "reference": {"wall_seconds": round(r_wall, 3), **r_stats},
+        "waterfill_ratio": round(
+            r_stats["waterfill_calls"] / b_stats["waterfill_calls"], 2
+        ),
+        "wall_ratio": round(r_wall / b_wall, 2),
+    }
+
+
+# ------------------------------------------------------------- swarm bursts
+
+
+def _run_swarm_burst(batching: bool):
+    """A raw-FlowNetwork swarm: bursty churn plus capacity waves.
+
+    Every 20 s one event aborts up to 6 flows, starts 10, and re-caps 8 —
+    the same-timestamp mutation burst a swarm tick produces.  Every 20 min
+    a wave degrades half the downlinks in a single event and restores them
+    10 min later (a region fault).  The RNG stream is consumed identically
+    under both policies, so the schedules are the same workload.
+    """
+    sim = Simulator()
+    net = FlowNetwork(sim, batching=batching)
+    rng = random.Random(0xBEEF)
+    n = 120
+    downs, ups = [], []
+    for i in range(n):
+        down = rng.uniform(4.0, 40.0)
+        downs.append(Resource(f"peer{i}/down", mbps(down)))
+        ups.append(Resource(f"peer{i}/up", mbps(down / rng.uniform(4.0, 12.0))))
+    active: list = []
+
+    def burst() -> None:
+        for _ in range(6):
+            if active:
+                net.abort_flow(active.pop(rng.randrange(len(active))))
+        for _ in range(10):
+            d = rng.randrange(n)
+            u = rng.randrange(n)
+            if u == d:
+                u = (u + 1) % n
+            active.append(net.start_flow(
+                (downs[d], ups[u]), size=rng.uniform(20.0, 200.0) * 1e6
+            ))
+        for _ in range(8):
+            if active:
+                net.set_cap(rng.choice(active), mbps(rng.uniform(0.5, 8.0)))
+
+    originals = [r.capacity for r in downs]
+
+    def wave(restore: bool) -> None:
+        for i in range(0, n, 2):
+            cap = originals[i] if restore else originals[i] * 0.3
+            net.set_resource_capacity(downs[i], cap)
+
+    horizon = 3600.0
+    for t in range(0, int(horizon), 20):
+        sim.schedule_at(float(t), burst)
+    for t in range(600, int(horizon), 1200):
+        sim.schedule_at(float(t), lambda: wave(False))
+        sim.schedule_at(float(t + 600), lambda: wave(True))
+
+    started = time.perf_counter()
+    sim.run(until=horizon)
+    wall = time.perf_counter() - started
+    stats = dict(net.stats.as_dict())
+    stats["completed"] = net.completed_count
+    stats["aborted"] = net.aborted_count
+    return wall, stats
+
+
+def test_swarm_burst_batching():
+    """Burst-heavy swarm: batching must at least halve water-filling work."""
+    b_wall, b_stats = _run_swarm_burst(batching=True)
+    r_wall, r_stats = _run_swarm_burst(batching=False)
+    _record("swarm_burst", (b_wall, b_stats), (r_wall, r_stats))
+
+    # Identical workload, identical outcome under both policies.
+    assert b_stats["completed"] == r_stats["completed"]
+    assert b_stats["aborted"] == r_stats["aborted"]
+    assert b_stats["mutations"] == r_stats["mutations"]
+
+    # The acceptance bar: >= 2x fewer water-filling invocations and a
+    # wall-clock win (the measured margin is ~4.5x / ~4x; asserting the
+    # bar, not the margin, keeps the test robust on slow CI machines).
+    assert r_stats["waterfill_calls"] >= 2 * b_stats["waterfill_calls"]
+    assert b_wall < r_wall
+
+    # Heap maintenance: skipping unchanged-rate re-pushes must dominate.
+    assert b_stats["heap_skips"] > b_stats["heap_pushes"]
+
+
+# ------------------------------------------------------- end-to-end scenario
+
+_HOUR = 3600.0
+
+#: Link-degradation waves + churn storms + an edge brownout over half a
+#: simulated day: the fault-injection half of the burst story.
+_FAULTS = tuple(
+    LinkDegradation(name=f"squeeze{i}", start=(1.5 + 2.5 * i) * _HOUR,
+                    duration=1.5 * _HOUR, fraction=0.6,
+                    down_factor=0.3, up_factor=0.3)
+    for i in range(4)
+) + (
+    PeerChurnStorm(name="storm", start=4 * _HOUR, duration=2 * _HOUR,
+                   fraction=0.5),
+    EdgeBrownout(name="brownout", start=8 * _HOUR, duration=2 * _HOUR,
+                 fraction=1.0, capacity_factor=0.05),
+)
+
+
+def _scenario_config(batching: bool) -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=7,
+        duration_days=0.5,
+        system=SystemConfig(flow_batching=batching),
+        population=PopulationConfig(n_peers=300),
+        demand=DemandConfig(total_downloads=400, duration_days=0.5),
+        catalog=CatalogConfig(objects_per_provider=12),
+        faults=_FAULTS,
+    )
+
+
+def _run_scenario_mode(batching: bool):
+    started = time.perf_counter()
+    result = run_scenario(_scenario_config(batching))
+    wall = time.perf_counter() - started
+    stats = result.system.stats()
+    flat = dict(stats.flows.as_dict())
+    flat["completed"] = stats.flows_completed
+    flat["aborted"] = stats.flows_aborted
+    flat["events_processed"] = stats.events_processed
+    return wall, flat
+
+
+def test_scenario_batching():
+    """Full workload + faults: deterministic parity and a wall-clock win.
+
+    End to end, chunk completions (one settlement either way) dilute the
+    burst savings, so the invocation ratio here is lower than the swarm
+    microbenchmark's — the 2x acceptance bar is asserted there; here we
+    require parity and a strict reduction in both invocations and time.
+    """
+    b_wall, b_stats = _run_scenario_mode(batching=True)
+    r_wall, r_stats = _run_scenario_mode(batching=False)
+    _record("workload_faults", (b_wall, b_stats), (r_wall, r_stats))
+
+    # Both engines must simulate the same run.
+    assert b_stats["completed"] == r_stats["completed"]
+    assert b_stats["aborted"] == r_stats["aborted"]
+    assert b_stats["mutations"] == r_stats["mutations"]
+
+    assert r_stats["waterfill_calls"] > b_stats["waterfill_calls"] * 1.2
+    assert b_wall < r_wall

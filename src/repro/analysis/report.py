@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["render_table", "render_series", "render_comparison", "pct", "human_bytes"]
+__all__ = ["render_table", "render_series", "render_comparison", "render_perf",
+           "pct", "human_bytes"]
 
 
 def pct(value: float, digits: int = 1) -> str:
@@ -78,6 +79,20 @@ def render_series(
         for x, y in shown:
             lines.append(f"  {x:>14.4g}  {y:>10.4g}")
     return "\n".join(lines)
+
+
+def render_perf(title: str, counters: dict[str, object]) -> str:
+    """Render a flat counter dict (e.g. ``SystemStats.as_dict()``) as a table.
+
+    Integer-valued floats print without the trailing ``.0`` so counter
+    tables stay aligned and diff-friendly.
+    """
+    rows = []
+    for key, value in counters.items():
+        if isinstance(value, float) and value == int(value):
+            value = int(value)
+        rows.append((key, value))
+    return render_table(title, ["counter", "value"], rows)
 
 
 def render_comparison(

@@ -16,6 +16,12 @@ Commands
     report; with ``--list``, show the available scenarios.  The report is
     fully deterministic: the same ``--scenario``/``--seed`` pair prints
     byte-identical output on every run.
+``perf``
+    Run the standard scenario once and print the simulator/allocation
+    counters (:class:`~repro.core.system.SystemStats`); with ``--profile``,
+    wrap the run in :mod:`cProfile` and print the hottest functions.
+    ``run``/``study`` accept ``--perf`` to append the same counter table
+    after the normal experiment output.
 
 Examples
 --------
@@ -23,9 +29,11 @@ Examples
 
     python -m repro list
     python -m repro run exp_offload exp_fig6 --scale small
+    python -m repro run exp_table1 --perf
     python -m repro study --scale standard
     python -m repro trace --out ./trace --scale small
     python -m repro faults --scenario control_plane_blackout --seed 42
+    python -m repro perf --scale small --profile
 """
 
 from __future__ import annotations
@@ -60,9 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run selected experiments")
     run.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
     _add_scale(run)
+    run.add_argument("--perf", action="store_true",
+                     help="print perf counters for each scenario after the tables")
 
     study = sub.add_parser("study", help="run the full measurement study")
     _add_scale(study)
+    study.add_argument("--perf", action="store_true",
+                       help="print perf counters for each scenario after the tables")
 
     trace = sub.add_parser("trace", help="generate and export a synthetic trace")
     trace.add_argument("--out", required=True, help="output directory")
@@ -81,10 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--list", action="store_true", dest="list_scenarios",
                         help="list available scenarios and exit")
 
+    perf = sub.add_parser(
+        "perf", help="run the standard scenario and print perf counters"
+    )
+    _add_scale(perf)
+    perf.add_argument("--profile", action="store_true",
+                      help="run under cProfile and print the hottest functions")
+    perf.add_argument("--profile-limit", type=int, default=20, metavar="N",
+                      help="functions to show with --profile (default: 20)")
+
     return parser
 
 
-def _run_experiments(names: list[str], scale: str, seed: int) -> int:
+def _run_experiments(names: list[str], scale: str, seed: int,
+                     *, perf: bool = False) -> int:
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
@@ -97,6 +119,57 @@ def _run_experiments(names: list[str], scale: str, seed: int) -> int:
         output = module.run(effective, seed)
         print(f"\n# {name}  (scale={effective}, {time.time() - started:.1f}s)")
         print(output.text)
+    if perf:
+        _print_cached_perf()
+    return 0
+
+
+def _print_cached_perf() -> None:
+    """Append perf-counter tables for every scenario the batch ran.
+
+    Printed strictly after the experiment tables so the paper-style output
+    (and its golden files) is unchanged by ``--perf``.
+    """
+    from repro.analysis.report import render_perf
+    from repro.experiments.common import cached_results
+
+    for (scale, seed), result in sorted(cached_results().items()):
+        stats = result.system.stats()
+        print()
+        print(render_perf(
+            f"perf counters  (scale={scale}, seed={seed})", stats.as_dict()
+        ))
+
+
+def _run_perf(scale: str, seed: int, *, profile: bool, profile_limit: int) -> int:
+    from repro.analysis.report import render_perf
+    from repro.experiments.common import standard_config
+    from repro.workload import run_scenario
+
+    config = standard_config(scale, seed)
+    started = time.perf_counter()
+    if profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_scenario(config)
+        profiler.disable()
+    else:
+        profiler = None
+        result = run_scenario(config)
+    elapsed = time.perf_counter() - started
+
+    stats = result.system.stats()
+    counters: dict[str, object] = {"wall_seconds": round(elapsed, 2)}
+    counters.update(stats.as_dict())
+    print(render_perf(f"perf counters  (scale={scale}, seed={seed})", counters))
+    if profiler is not None:
+        print()
+        pstats.Stats(profiler).strip_dirs().sort_stats("cumulative").print_stats(
+            profile_limit
+        )
     return 0
 
 
@@ -113,10 +186,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        return _run_experiments(args.experiments, args.scale, args.seed)
+        return _run_experiments(args.experiments, args.scale, args.seed,
+                                perf=args.perf)
 
     if args.command == "study":
-        return _run_experiments(list(ALL_EXPERIMENTS), args.scale, args.seed)
+        return _run_experiments(list(ALL_EXPERIMENTS), args.scale, args.seed,
+                                perf=args.perf)
+
+    if args.command == "perf":
+        return _run_perf(args.scale, args.seed,
+                         profile=args.profile, profile_limit=args.profile_limit)
 
     if args.command == "trace":
         from repro.analysis.export import export_trace

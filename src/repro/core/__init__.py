@@ -19,10 +19,10 @@ from repro.core.placement import PlacementConfig, PredictivePlacer
 from repro.core.selection import QueryContext, select_peers
 from repro.core.streaming import StreamingSession, start_streaming
 from repro.core.swarm import Chunk, DownloadSession, EdgeConnection, PeerConnection
-from repro.core.system import NetSessionSystem
+from repro.core.system import NetSessionSystem, SystemStats
 
 __all__ = [
-    "NetSessionSystem",
+    "NetSessionSystem", "SystemStats",
     "ContentProvider", "ContentObject", "PIECE_SIZE",
     "PeerNode", "CacheEntry", "IdentitySnapshot",
     "DownloadSession", "PeerConnection", "EdgeConnection", "Chunk",

@@ -161,6 +161,12 @@ class SystemConfig:
     #: to a pure infrastructure CDN (used for the edge-only baseline and the
     #: total-control-plane-failure scenario of §3.8).
     p2p_globally_enabled: bool = True
+    #: Rate-allocation settlement policy.  True (default) coalesces
+    #: same-timestamp mutation bursts into one water-filling pass per
+    #: simulator event; False restores the per-mutation reference engine
+    #: (kept for the equivalence tests and perf benchmarks — the two
+    #: policies produce identical rate trajectories).
+    flow_batching: bool = True
 
     def with_client(self, **changes) -> "SystemConfig":
         """Return a copy with client-config fields replaced."""

@@ -202,18 +202,22 @@ class PeerNode:
         if self._refresh_event is not None:
             self._refresh_event.cancel()
             self._refresh_event = None
-        for session in list(self.sessions.values()):
-            if session.state == "active":
-                session.pause()
-                self._paused_for_offline.append(session.obj.cid)
-        # Uploads die with the connection: notify each downloader's session
-        # so in-flight pieces are credited/requeued and replacements sought.
-        for flow in list(self.upload_flows):
-            conn = flow.meta
-            if conn is not None and hasattr(conn, "handle_uploader_offline"):
-                conn.handle_uploader_offline()
-            else:
-                self.system.flows.abort_flow(flow)
+        # One settlement for the whole disconnect burst (pauses tear down
+        # sessions, each upload abort frees shared links).
+        with self.system.flows.batch():
+            for session in list(self.sessions.values()):
+                if session.state == "active":
+                    session.pause()
+                    self._paused_for_offline.append(session.obj.cid)
+            # Uploads die with the connection: notify each downloader's
+            # session so in-flight pieces are credited/requeued and
+            # replacements sought.
+            for flow in list(self.upload_flows):
+                conn = flow.meta
+                if conn is not None and hasattr(conn, "handle_uploader_offline"):
+                    conn.handle_uploader_offline()
+                else:
+                    self.system.flows.abort_flow(flow)
         self.upload_flows.clear()
         self.active_upload_count = 0
         if self.cn is not None:
@@ -341,9 +345,10 @@ class PeerNode:
             return
         self.link_busy = busy
         cap = self.upload_rate_cap()
-        for flow in self.upload_flows:
-            if flow.active:
-                self.system.flows.set_cap(flow, cap)
+        with self.system.flows.batch():
+            for flow in self.upload_flows:
+                if flow.active:
+                    self.system.flows.set_cap(flow, cap)
 
     # ---------------------------------------------------------------- settings
 

@@ -154,6 +154,8 @@ class StreamingSession(DownloadSession):
         """
         if self.state != "active" or self.edge_conn is None:
             return
+        # Peer ETAs below come from live rates: settle pending mutations.
+        self.system.flows.flush()
         frontier: list[int] = []
         for index in range(self.obj.num_pieces):
             if index not in self.received:

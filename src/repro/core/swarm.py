@@ -101,6 +101,8 @@ class _Connection:
     def current_rate(self) -> float:
         """Instantaneous transfer rate, bytes/s."""
         if self.flow is not None and self.flow.active:
+            # Settle any same-timestamp mutation burst before reading.
+            self.session.system.flows.flush()
             return self.flow.rate
         return 0.0
 
@@ -549,6 +551,8 @@ class DownloadSession:
             return
         if self.piece_pool or self.edge_conn.busy:
             return
+        # ETAs below come from live rates: settle pending mutations first.
+        self.system.flows.flush()
         worst: Optional[PeerConnection] = None
         worst_eta = 0.0
         for conn in list(self.peer_conns):

@@ -25,6 +25,7 @@ This is the public entry point of the core library::
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.logstore import LogStore
@@ -36,14 +37,60 @@ from repro.core.edge import EdgeNetwork
 from repro.core.peer import PeerNode
 from repro.core.swarm import DownloadSession
 from repro.net.addressing import IPAllocator
-from repro.net.flows import FlowNetwork
+from repro.net.flows import FlowNetwork, FlowNetworkStats
 from repro.net.geo import Country, GeoDatabase, World, build_core_world
 from repro.net.links import BroadbandModel
 from repro.net.nat import NATModel
 from repro.net.sim import Simulator
 from repro.net.topology import ASTopology, build_topology
 
-__all__ = ["NetSessionSystem"]
+__all__ = ["NetSessionSystem", "SystemStats"]
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Point-in-time performance counters for a running system.
+
+    Combines the simulator's event-loop counters with the flow network's
+    allocation counters (a :class:`FlowNetworkStats` snapshot) and basic
+    population gauges.  Cheap to take — every field is O(1) to read —
+    so experiment runners can snapshot it after each scenario.
+    """
+
+    #: Simulated time of the snapshot, seconds.
+    now: float
+    #: Event-loop work: callbacks fired, heap pushes, stale entries popped.
+    events_processed: int
+    sim_heap_pushes: int
+    sim_stale_pops: int
+    #: Not-yet-fired, not-cancelled events still queued.
+    pending_events: int
+    #: Population gauges.
+    peers: int
+    peers_online: int
+    active_flows: int
+    flows_completed: int
+    flows_aborted: int
+    #: Allocation-engine counters (see :class:`FlowNetworkStats`).
+    flows: FlowNetworkStats
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat key/value view for tables and JSON (flow_* prefixed)."""
+        out: dict[str, float] = {
+            "now": round(self.now, 1),
+            "events_processed": self.events_processed,
+            "sim_heap_pushes": self.sim_heap_pushes,
+            "sim_stale_pops": self.sim_stale_pops,
+            "pending_events": self.pending_events,
+            "peers": self.peers,
+            "peers_online": self.peers_online,
+            "active_flows": self.active_flows,
+            "flows_completed": self.flows_completed,
+            "flows_aborted": self.flows_aborted,
+        }
+        for key, value in self.flows.as_dict().items():
+            out[f"flow_{key}"] = value
+        return out
 
 
 class NetSessionSystem:
@@ -61,7 +108,7 @@ class NetSessionSystem:
         self.config = config if config is not None else SystemConfig()
         self.rng = random.Random(seed)
         self.sim = Simulator()
-        self.flows = FlowNetwork(self.sim)
+        self.flows = FlowNetwork(self.sim, batching=self.config.flow_batching)
 
         self.world = world if world is not None else build_core_world()
         self.topology = (
@@ -184,6 +231,22 @@ class NetSessionSystem:
     def online_peer_count(self) -> int:
         """Peers currently online."""
         return sum(1 for p in self.all_peers if p.online)
+
+    def stats(self) -> SystemStats:
+        """Snapshot the simulator and allocation-engine counters."""
+        return SystemStats(
+            now=self.sim.now,
+            events_processed=self.sim.events_processed,
+            sim_heap_pushes=self.sim.heap_pushes,
+            sim_stale_pops=self.sim.stale_pops,
+            pending_events=self.sim.pending_count(),
+            peers=len(self.all_peers),
+            peers_online=self.online_peer_count(),
+            active_flows=len(self.flows.active_flows),
+            flows_completed=self.flows.completed_count,
+            flows_aborted=self.flows.aborted_count,
+            flows=self.flows.stats.snapshot(),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

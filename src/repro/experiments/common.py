@@ -23,7 +23,8 @@ from repro.workload import (
     ScenarioConfig, ScenarioResult, run_scenario,
 )
 
-__all__ = ["ExperimentOutput", "standard_config", "standard_result", "SCALES"]
+__all__ = ["ExperimentOutput", "standard_config", "standard_result",
+           "cached_results", "SCALES"]
 
 SCALES = ("small", "standard", "mobility")
 
@@ -77,3 +78,12 @@ def standard_result(scale: str = "small", seed: int = 42) -> ScenarioResult:
     if key not in _CACHE:
         _CACHE[key] = run_scenario(standard_config(scale, seed))
     return _CACHE[key]
+
+
+def cached_results() -> dict[tuple[str, int], ScenarioResult]:
+    """The scenario results computed so far, keyed by (scale, seed).
+
+    Lets callers (e.g. ``repro run --perf``) report perf counters for the
+    scenarios a batch of experiments actually ran, without re-running them.
+    """
+    return dict(_CACHE)

@@ -106,7 +106,11 @@ class FaultInjector:
             pre_registrations=control.total_registrations(),
         )
         ctx = self._context(spec)
-        token = spec.apply(ctx)
+        # A fault touching a whole region mutates many links/flows at once;
+        # batch() coalesces the entire apply into one rate settlement, even
+        # when the injector is driven outside the simulator loop.
+        with self.system.flows.batch():
+            token = spec.apply(ctx)
         recovery.post_connected = control.connected_peer_count()
         recovery.post_registrations = control.total_registrations()
         self.recoveries[spec.name] = recovery
@@ -119,7 +123,8 @@ class FaultInjector:
             )
 
     def _revert(self, spec: FaultSpec, ctx: InjectionContext, token: object) -> None:
-        spec.revert(ctx, token)
+        with self.system.flows.batch():
+            spec.revert(ctx, token)
         self._finish(spec, ctx, token, reverted=True)
 
     def _finish(self, spec: FaultSpec, ctx: InjectionContext, token: object,

@@ -14,22 +14,56 @@ Between allocation changes every flow progresses linearly, so the engine is
 event-driven: rates are only recomputed when a flow starts, finishes, is
 aborted, or has its cap changed — and only for the connected component of
 flows that actually share resources with the change.
+
+Batched settlement
+------------------
+Mutations arrive in same-timestamp bursts: the swarm layer opens several
+connections inside one completion tick, a session teardown aborts every
+connection it holds, and the fault injector degrades whole regions of links
+in a single callback.  Recomputing the component's water-filling once per
+mutation would be pure waste — no simulated time passes between the
+mutations, so only the *final* state of the burst is ever observable.
+
+The engine therefore runs dirty-set batched: every mutation marks the
+affected flows dirty and returns immediately; a *settlement pass*
+(:meth:`FlowNetwork.flush`) walks the dirty flows' connected components once
+and runs one water-filling over their union.  Settlement is triggered
+
+* automatically at the end of every simulator event (a post-event hook, so
+  no other event can ever observe stale rates),
+* immediately when a mutation happens outside the event loop (direct
+  library use keeps its synchronous feel), and
+* lazily by the few in-callback readers of live rates
+  (:meth:`FlowNetwork.flush` is idempotent and O(1) when clean).
+
+Because settlement happens at the same simulated timestamp as the mutations
+it coalesces, the resulting rate trajectories are identical to the
+per-mutation engine's — ``batching=False`` restores the per-mutation
+behaviour and is kept as the reference for the equivalence test-suite and
+the ``benchmarks/test_simcore.py`` baseline.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Iterable, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.net.sim import Simulator
 
-__all__ = ["Resource", "Flow", "FlowNetwork"]
+__all__ = ["Resource", "Flow", "FlowNetwork", "FlowNetworkStats"]
 
 #: Rate assigned to a flow constrained by nothing at all (no resources, no
 #: cap).  Finite so completion times stay finite; generous enough (10 GB/s)
 #: that it never binds in realistic scenarios.
 UNCONSTRAINED_RATE = 10e9
+
+#: Completion-heap entries are compacted (stale entries dropped, heap
+#: rebuilt) when more than half the heap is stale — but only past this size,
+#: so small heaps never pay the rebuild.
+_HEAP_COMPACT_MIN = 64
 
 
 class Resource:
@@ -38,9 +72,15 @@ class Resource:
     ``capacity`` is in bytes/second.  A resource with ``capacity=None`` is
     unconstrained and never becomes a bottleneck (useful for modelling core
     links we assume are overprovisioned, as the paper implicitly does).
+
+    ``allocated`` is the sum of the current rates of the flows crossing the
+    resource.  It is maintained incrementally by the :class:`FlowNetwork`
+    (exactly recomputed at each settlement touching the resource), which
+    makes :attr:`utilization` O(1) — monitoring and fault gauges poll it in
+    loops.
     """
 
-    __slots__ = ("name", "capacity", "flows")
+    __slots__ = ("name", "capacity", "flows", "allocated")
 
     def __init__(self, name: str, capacity: Optional[float]):
         if capacity is not None and capacity <= 0:
@@ -48,13 +88,14 @@ class Resource:
         self.name = name
         self.capacity = capacity
         self.flows: set["Flow"] = set()
+        self.allocated = 0.0
 
     @property
     def utilization(self) -> float:
         """Fraction of capacity currently allocated (0.0 for unconstrained)."""
         if self.capacity is None:
             return 0.0
-        return sum(f.rate for f in self.flows) / self.capacity
+        return self.allocated / self.capacity
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cap = "inf" if self.capacity is None else f"{self.capacity:.0f}B/s"
@@ -72,7 +113,7 @@ class Flow:
     __slots__ = (
         "flow_id", "resources", "size", "transferred", "rate", "cap",
         "on_complete", "meta", "start_time", "_last_update", "_version",
-        "active", "end_time",
+        "_queued", "active", "end_time",
     )
 
     def __init__(
@@ -97,6 +138,7 @@ class Flow:
         self.end_time: Optional[float] = None
         self._last_update = now
         self._version = 0
+        self._queued = False  # has a live completion-heap entry
         self.active = True
 
     @property
@@ -125,23 +167,99 @@ class Flow:
         )
 
 
+@dataclass
+class FlowNetworkStats:
+    """Counters exposing the allocation engine's work (perf observability).
+
+    All counters are cumulative since network creation.  ``snapshot()``
+    returns an independent copy; ``as_dict()`` flattens counters plus the
+    derived component-size statistics for reports and JSON export.
+    """
+
+    #: Mutations received (start/abort/set_cap/set_resource_capacity).
+    mutations: int = 0
+    #: Settlement passes that found dirty flows to resolve.
+    flushes: int = 0
+    #: Reallocation calls (one settle + water-filling over a dirty union).
+    reallocations: int = 0
+    #: Connected components walked across all settlements.
+    components: int = 0
+    #: Total flows covered by component walks (mean = / components).
+    flows_reallocated: int = 0
+    #: Largest single component seen.
+    max_component: int = 0
+    #: Water-filling invocations and total freezing rounds inside them.
+    waterfill_calls: int = 0
+    waterfill_rounds: int = 0
+    #: Completion-heap churn: entries pushed, pushes avoided because the
+    #: flow's rate (hence ETA) was unchanged, stale entries popped, and
+    #: full compactions performed.
+    heap_pushes: int = 0
+    heap_skips: int = 0
+    heap_stale_pops: int = 0
+    heap_compactions: int = 0
+
+    @property
+    def mean_component_size(self) -> float:
+        """Mean flows per walked component (0.0 before any settlement)."""
+        if self.components == 0:
+            return 0.0
+        return self.flows_reallocated / self.components
+
+    def snapshot(self) -> "FlowNetworkStats":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters plus derived statistics, for reports and JSON."""
+        return {
+            "mutations": self.mutations,
+            "flushes": self.flushes,
+            "reallocations": self.reallocations,
+            "components": self.components,
+            "flows_reallocated": self.flows_reallocated,
+            "mean_component_size": round(self.mean_component_size, 2),
+            "max_component": self.max_component,
+            "waterfill_calls": self.waterfill_calls,
+            "waterfill_rounds": self.waterfill_rounds,
+            "heap_pushes": self.heap_pushes,
+            "heap_skips": self.heap_skips,
+            "heap_stale_pops": self.heap_stale_pops,
+            "heap_compactions": self.heap_compactions,
+        }
+
+
 class FlowNetwork:
     """Manages all active flows and keeps their rates max-min fair.
 
     The network owns a completion heap inside the simulator: whenever rates
     change, new completion times are computed and stale heap entries are
     invalidated lazily via per-flow version counters.
+
+    ``batching`` selects the settlement policy: ``True`` (default) coalesces
+    same-timestamp mutation bursts into one settlement pass per simulator
+    event; ``False`` settles after every mutation (the reference engine the
+    equivalence tests and benchmarks compare against).
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, *, batching: bool = True):
         self.sim = sim
+        self.batching = batching
         self._next_id = 0
         self.active_flows: set[Flow] = set()
         # (completion_time, flow_id, version, flow) — lazy invalidation
         self._completions: list[tuple[float, int, int, Flow]] = []
+        self._heap_live = 0  # entries whose (flow, version) is still current
         self._completion_event = None
         self.completed_count = 0
         self.aborted_count = 0
+        self.stats = FlowNetworkStats()
+        # Dirty flows awaiting settlement; a dict preserves mutation order
+        # so components are walked in the order the burst touched them.
+        self._dirty: dict[Flow, None] = {}
+        self._need_schedule = False
+        self._batch_depth = 0
+        sim.add_post_event_hook(self._post_event_flush)
 
     # ------------------------------------------------------------------ API
 
@@ -177,7 +295,8 @@ class FlowNetwork:
         self.active_flows.add(flow)
         for res in flow.resources:
             res.flows.add(flow)
-        self._reallocate(self._component(flow))
+        self._dirty[flow] = None
+        self._mutated()
         return flow
 
     def abort_flow(self, flow: Flow) -> None:
@@ -188,13 +307,13 @@ class FlowNetwork:
         self._detach(flow)
         flow.end_time = self.sim.now
         self.aborted_count += 1
-        component = set()
         for res in flow.resources:
             if res.capacity is None:
                 continue
             for other in res.flows:
-                component |= self._component(other)
-        self._reallocate(component)
+                self._dirty.setdefault(other)
+        self._need_schedule = True
+        self._mutated()
 
     def set_cap(self, flow: Flow, cap: Optional[float]) -> None:
         """Change a flow's rate cap (used to throttle or pause-ish a flow)."""
@@ -202,8 +321,11 @@ class FlowNetwork:
             return
         if cap is not None and cap <= 0:
             raise ValueError(f"flow cap must be positive, got {cap}")
+        if cap == flow.cap:
+            return
         flow.cap = cap
-        self._reallocate(self._component(flow))
+        self._dirty.setdefault(flow)
+        self._mutated()
 
     def set_resource_capacity(self, resource: Resource, capacity: Optional[float]) -> None:
         """Change a shared resource's capacity mid-simulation.
@@ -220,24 +342,93 @@ class FlowNetwork:
         if capacity == resource.capacity:
             return
         resource.capacity = capacity
-        component: set[Flow] = set()
         for flow in list(resource.flows):
-            if flow.active and flow not in component:
-                component |= self._component(flow)
-        self._reallocate(component)
+            if flow.active:
+                self._dirty.setdefault(flow)
+        self._mutated()
 
     def throughput_snapshot(self) -> dict[int, float]:
         """Current rate of every active flow, keyed by flow id."""
+        self.flush()
         return {f.flow_id: f.rate for f in self.active_flows}
 
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Coalesce a block of mutations into one settlement pass.
+
+        Inside the simulator loop this is automatic (the post-event hook
+        settles each event's burst); the context manager extends the same
+        coalescing to mutation bursts issued *outside* the loop — a fault
+        being applied from driver code, a peer re-capping all its upload
+        flows.  Nests safely.  In ``batching=False`` reference mode it is a
+        no-op: every mutation still settles immediately.
+        """
+        self._batch_depth += 1
+        try:
+            yield
+        finally:
+            self._batch_depth -= 1
+            self._maybe_settle()
+
+    def flush(self) -> None:
+        """Settle pending mutations now.  Idempotent; O(1) when clean.
+
+        Rates are always settled before any other simulator event runs; the
+        few code paths that read live rates *inside* the same callback that
+        mutated the network call this first.
+        """
+        if not self._dirty:
+            if self._need_schedule:
+                self._need_schedule = False
+                self._schedule_next_completion()
+            return
+        self.stats.flushes += 1
+        dirty, self._dirty = self._dirty, {}
+        self._need_schedule = False
+        component: set[Flow] = set()
+        for flow in dirty:
+            if flow.active and flow not in component:
+                walked = self._component(flow)
+                self.stats.components += 1
+                self.stats.flows_reallocated += len(walked)
+                if len(walked) > self.stats.max_component:
+                    self.stats.max_component = len(walked)
+                component |= walked
+        self._reallocate(component)
+
     # ------------------------------------------------------- internal engine
+
+    def _mutated(self) -> None:
+        """A mutation happened: settle now or defer to the event boundary."""
+        self.stats.mutations += 1
+        self._maybe_settle()
+
+    def _maybe_settle(self) -> None:
+        if not self.batching:
+            self.flush()
+            return
+        if self._batch_depth == 0 and not self.sim.in_event:
+            self.flush()
+
+    def _post_event_flush(self) -> None:
+        # Registered with the simulator: runs after every event callback, so
+        # the next event (and anything after run()) always sees settled rates.
+        if self._dirty or self._need_schedule:
+            self.flush()
 
     def _detach(self, flow: Flow) -> None:
         flow.active = False
         flow._version += 1  # invalidate any heap entry
+        if flow._queued:
+            flow._queued = False
+            self._heap_live -= 1
         self.active_flows.discard(flow)
         for res in flow.resources:
             res.flows.discard(flow)
+            if res.flows:
+                res.allocated -= flow.rate
+            else:
+                res.allocated = 0.0  # exact reset: no float residue lingers
 
     def _settle(self, flow: Flow) -> None:
         """Advance a flow's transferred bytes up to the current time."""
@@ -268,42 +459,91 @@ class FlowNetwork:
         return seen
 
     def _reallocate(self, flows: set[Flow]) -> None:
-        """Recompute max-min fair rates for a component and reschedule."""
+        """Recompute max-min fair rates for a dirty union and reschedule."""
         flows = {f for f in flows if f.active}
         if not flows:
             self._schedule_next_completion()
             return
+        self.stats.reallocations += 1
         for f in flows:
             self._settle(f)
 
-        rates = _max_min_fair(flows)
+        rates = _max_min_fair(flows, self.stats)
+        now = self.sim.now
+        changed = False
         for f, rate in rates.items():
+            if rate == f.rate:
+                # Flows progress linearly, so an unchanged rate means the
+                # existing heap entry's ETA is still exact — skip the version
+                # bump and re-push entirely (satellite: no heap bloat).
+                self.stats.heap_skips += 1
+                continue
+            changed = True
             f.rate = rate
             f._version += 1
+            if f._queued:
+                f._queued = False
+                self._heap_live -= 1
             if rate > 0 and f.remaining > 0:
-                eta = self.sim.now + f.remaining / rate
+                eta = now + f.remaining / rate
             else:
                 eta = math.inf
             if math.isfinite(eta):
                 heapq.heappush(self._completions, (eta, f.flow_id, f._version, f))
+                f._queued = True
+                self._heap_live += 1
+                self.stats.heap_pushes += 1
+        if changed:
+            # Exact per-resource allocated sums: recomputed (not drifted) for
+            # every constrained resource the union touches, so utilization
+            # reads stay O(1) *and* bit-exact.
+            seen_res: set[Resource] = set()
+            for f in flows:
+                for res in f.resources:
+                    if res.capacity is not None and res not in seen_res:
+                        seen_res.add(res)
+                        res.allocated = sum(g.rate for g in res.flows)
         self._schedule_next_completion()
+
+    def _maybe_compact_heap(self) -> None:
+        heap = self._completions
+        if len(heap) <= _HEAP_COMPACT_MIN:
+            return
+        if (len(heap) - self._heap_live) * 2 <= len(heap):
+            return
+        self._completions = [
+            entry for entry in heap
+            if entry[3].active and entry[2] == entry[3]._version
+        ]
+        heapq.heapify(self._completions)
+        self.stats.heap_compactions += 1
 
     def _schedule_next_completion(self) -> None:
         # Drop stale heap entries, then (re)schedule the simulator event for
         # the earliest valid completion.
+        self._maybe_compact_heap()
         while self._completions:
             eta, _fid, version, flow = self._completions[0]
             if not flow.active or version != flow._version:
                 heapq.heappop(self._completions)
+                self.stats.heap_stale_pops += 1
                 continue
             break
-        if self._completion_event is not None and self._completion_event.pending:
-            self._completion_event.cancel()
-            self._completion_event = None
         if not self._completions:
+            if self._completion_event is not None and self._completion_event.pending:
+                self._completion_event.cancel()
+                self._completion_event = None
             return
         eta = self._completions[0][0]
         delay = max(0.0, eta - self.sim.now)
+        if (
+            self._completion_event is not None
+            and self._completion_event.pending
+            and self._completion_event.time == self.sim.now + delay
+        ):
+            return  # already armed for exactly this instant — keep it
+        if self._completion_event is not None and self._completion_event.pending:
+            self._completion_event.cancel()
         self._completion_event = self.sim.schedule(delay, self._on_completion_tick)
 
     def _on_completion_tick(self) -> None:
@@ -313,10 +553,13 @@ class FlowNetwork:
             eta, _fid, version, flow = self._completions[0]
             if not flow.active or version != flow._version:
                 heapq.heappop(self._completions)
+                self.stats.heap_stale_pops += 1
                 continue
             if eta > now + 1e-9:
                 break
             heapq.heappop(self._completions)
+            flow._queued = False
+            self._heap_live -= 1
             finished.append(flow)
 
         affected: set[Flow] = set()
@@ -333,18 +576,26 @@ class FlowNetwork:
             flow.end_time = now
             self.completed_count += 1
 
-        component: set[Flow] = set()
         for f in affected:
-            if f not in component and f.active:
-                component |= self._component(f)
-        self._reallocate(component)
+            if f.active:
+                self._dirty.setdefault(f)
+        self._need_schedule = True
+        if not self.batching:
+            self.flush()
+        # In batched mode even the completion burst defers: the freed
+        # capacity, the flows the callbacks below start, and any teardowns
+        # they trigger all settle in this event's single settlement pass.
+        # Callbacks never observe stale rates — every live-rate reader
+        # flushes first.
 
         for flow in finished:
             if flow.on_complete is not None:
                 flow.on_complete(flow)
 
 
-def _max_min_fair(flows: set[Flow]) -> dict[Flow, float]:
+def _max_min_fair(
+    flows: set[Flow], stats: Optional[FlowNetworkStats] = None
+) -> dict[Flow, float]:
     """Progressive water-filling with per-flow caps.
 
     Repeatedly find the binding constraint — either the most-loaded resource's
@@ -352,6 +603,8 @@ def _max_min_fair(flows: set[Flow]) -> dict[Flow, float]:
     flows at that rate.  Each iteration freezes at least one flow, so the
     loop terminates in at most ``len(flows)`` rounds.
     """
+    if stats is not None:
+        stats.waterfill_calls += 1
     remaining: dict[Resource, float] = {}
     counts: dict[Resource, int] = {}
     for f in flows:
@@ -373,6 +626,8 @@ def _max_min_fair(flows: set[Flow]) -> dict[Flow, float]:
     rates: dict[Flow, float] = {}
 
     while unfrozen:
+        if stats is not None:
+            stats.waterfill_rounds += 1
         # Bottleneck share among constrained resources with unfrozen flows.
         share = math.inf
         bottleneck: Optional[Resource] = None

@@ -98,8 +98,10 @@ class AccessLink:
         if self.degraded:
             return False
         self.pre_degradation = (self.down_bps, self.up_bps)
-        flows.set_resource_capacity(self.downlink, max(1.0, self.down_bps * down_factor))
-        flows.set_resource_capacity(self.uplink, max(1.0, self.up_bps * up_factor))
+        # Both directions drop at the same instant: settle once.
+        with flows.batch():
+            flows.set_resource_capacity(self.downlink, max(1.0, self.down_bps * down_factor))
+            flows.set_resource_capacity(self.uplink, max(1.0, self.up_bps * up_factor))
         return True
 
     def restore(self, flows) -> bool:
@@ -108,8 +110,9 @@ class AccessLink:
             return False
         down, up = self.pre_degradation
         self.pre_degradation = None
-        flows.set_resource_capacity(self.downlink, down)
-        flows.set_resource_capacity(self.uplink, up)
+        with flows.batch():
+            flows.set_resource_capacity(self.downlink, down)
+            flows.set_resource_capacity(self.uplink, up)
         return True
 
 

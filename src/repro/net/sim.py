@@ -7,6 +7,13 @@ heap of timestamped callbacks plus a handful of conveniences (recurring
 timers, cancellable events, a monotonic tiebreaker so same-time events fire
 in scheduling order).
 
+The heap holds plain ``(time, seq, event)`` tuples — the hot loop pushes and
+pops millions of entries per run, and tuple comparison is several times
+cheaper than a ``dataclass(order=True)`` wrapper.  Post-event hooks let the
+flow network settle batched rate mutations at every event boundary (see
+:mod:`repro.net.flows`), and cheap counters (events processed, heap pushes,
+stale pops) feed the perf observability surface.
+
 Time is a ``float`` number of seconds since the start of the simulated trace.
 Nothing in the engine knows about wall-clock dates; the workload layer maps
 simulated seconds onto calendar days when it needs diurnal patterns.
@@ -16,7 +23,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -24,13 +30,6 @@ __all__ = ["Event", "Simulator", "SimulationError"]
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
-
-
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
 
 
 class Event:
@@ -41,16 +40,19 @@ class Event:
     when popped; this makes cancellation O(1).
     """
 
-    __slots__ = ("time", "callback", "cancelled", "fired")
+    __slots__ = ("time", "callback", "cancelled", "fired", "_sim")
 
     def __init__(self, time: float, callback: Callable[[], None]):
         self.time = time
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        if not (self.cancelled or self.fired) and self._sim is not None:
+            self._sim._live -= 1
         self.cancelled = True
 
     @property
@@ -78,16 +80,40 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: list[_QueueEntry] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        self._in_event = False
+        self._live = 0  # pending (not-fired, not-cancelled) queued events
+        self._post_event_hooks: list[Callable[[], None]] = []
         self.events_processed = 0
+        self.heap_pushes = 0
+        self.stale_pops = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def in_event(self) -> bool:
+        """True while an event callback is executing."""
+        return self._in_event
+
+    def add_post_event_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run after every event callback.
+
+        Hooks run in registration order, after the callback returns and
+        before the next event is popped — the flow network uses this to
+        settle each event's batched rate mutations at the event boundary.
+        """
+        self._post_event_hooks.append(hook)
+
+    def _push(self, time: float, event: Event) -> None:
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+        self._live += 1
+        self.heap_pushes += 1
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
@@ -106,7 +132,8 @@ class Simulator:
                 f"cannot schedule at t={time:.3f} (now is t={self._now:.3f})"
             )
         event = Event(time, callback)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), event))
+        event._sim = self
+        self._push(time, event)
         return event
 
     def every(
@@ -128,6 +155,7 @@ class Simulator:
         delay = interval if first_delay is None else first_delay
 
         event = Event(self._now + delay, lambda: None)
+        event._sim = self
 
         def tick() -> None:
             callback()
@@ -138,10 +166,10 @@ class Simulator:
                 return
             event.time = next_time
             event.fired = False
-            heapq.heappush(self._queue, _QueueEntry(next_time, next(self._seq), event))
+            self._push(next_time, event)
 
         event.callback = tick
-        heapq.heappush(self._queue, _QueueEntry(event.time, next(self._seq), event))
+        self._push(event.time, event)
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -157,22 +185,31 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        queue = self._queue
+        hooks = self._post_event_hooks
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
                 if max_events is not None and processed >= max_events:
                     break
-                entry = self._queue[0]
-                if until is not None and entry.time > until:
+                time, _seq, event = queue[0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                event = entry.event
+                heapq.heappop(queue)
                 if event.cancelled or event.fired:
+                    self.stale_pops += 1
                     continue
-                self._now = entry.time
+                self._now = time
                 event.fired = True
-                event.callback()
+                self._live -= 1
+                self._in_event = True
+                try:
+                    event.callback()
+                finally:
+                    self._in_event = False
+                for hook in hooks:
+                    hook()
                 processed += 1
                 self.events_processed += 1
         finally:
@@ -185,8 +222,12 @@ class Simulator:
         self._stopped = True
 
     def pending_count(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for e in self._queue if e.event.pending)
+        """Number of not-yet-fired, not-cancelled events in the queue.
+
+        O(1): maintained as a live counter on schedule/fire/cancel instead
+        of scanning the heap (monitoring paths poll this).
+        """
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self._now:.3f} queued={len(self._queue)}>"

@@ -263,3 +263,51 @@ class TestEdgeCases:
         sim.schedule(15.0, lambda: sim.schedule(5.0, lambda: order.append(("oneshot", sim.now))))
         sim.run(until=25.0)
         assert order == [("every", 10.0), ("every", 20.0), ("oneshot", 20.0)]
+
+
+class TestCounters:
+    def test_events_processed_counts_fired_callbacks(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+        assert sim.heap_pushes == 5
+
+    def test_stale_pops_count_cancelled_entries(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        events[1].cancel()
+        events[2].cancel()
+        sim.run()
+        assert sim.events_processed == 2
+        assert sim.stale_pops == 2
+
+    def test_pending_count_is_live_event_count(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+        assert sim.pending_count() == 6
+        events[0].cancel()
+        assert sim.pending_count() == 5
+        events[0].cancel()  # double-cancel must not double-decrement
+        assert sim.pending_count() == 5
+        sim.run(until=3.5)
+        assert sim.pending_count() == 3
+
+    def test_in_event_true_only_inside_callbacks(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.in_event))
+        assert not sim.in_event
+        sim.run()
+        assert seen == [True]
+        assert not sim.in_event
+
+    def test_post_event_hook_runs_after_every_callback(self):
+        sim = Simulator()
+        order = []
+        sim.add_post_event_hook(lambda: order.append("hook"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "hook", "b", "hook"]

@@ -69,3 +69,21 @@ class TestFaultsCommand:
         assert first == second
         assert "injection timeline" in first
         assert "recovery metrics" in first
+
+
+class TestPerfCommand:
+    def test_perf_prints_counter_table(self, capsys):
+        assert main(["perf", "--scale", "small", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "perf counters" in out
+        assert "wall_seconds" in out
+        assert "flow_waterfill_calls" in out
+        assert "pending_events" in out
+
+    def test_run_perf_flag_appends_counters_after_tables(self, capsys):
+        assert main(["run", "exp_offload", "--scale", "small", "--perf"]) == 0
+        out = capsys.readouterr().out
+        # Counters come strictly after the experiment's own output, so the
+        # paper-style text (and its goldens) is unchanged by --perf.
+        assert out.index("offload summary") < out.index("perf counters")
+        assert "flow_waterfill_calls" in out

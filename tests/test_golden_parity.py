@@ -1,0 +1,32 @@
+"""Golden-seed parity: experiment output pinned byte-for-byte.
+
+The allocation engine's hard constraint is that batching must not move a
+single float in the fixed-seed experiment pipeline.  These goldens were
+rendered by the pre-batching per-mutation engine; the current engine must
+reproduce them exactly.  If an intentional modelling change breaks them,
+regenerate with::
+
+    PYTHONPATH=src python -c "
+    from repro.experiments import exp_table1, exp_fig4
+    open('tests/golden/exp_table1_small_seed42.txt', 'w').write(exp_table1.run('small', 42).text)
+    open('tests/golden/exp_fig4_small_seed42.txt', 'w').write(exp_fig4.run('small', 42).text)"
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import exp_fig4, exp_table1
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("module, golden", [
+    (exp_table1, "exp_table1_small_seed42.txt"),
+    (exp_fig4, "exp_fig4_small_seed42.txt"),
+])
+def test_small_scale_output_is_byte_identical(module, golden):
+    expected = (GOLDEN_DIR / golden).read_text()
+    assert module.run("small", 42).text == expected
