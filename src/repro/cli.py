@@ -33,6 +33,7 @@ Examples
     python -m repro study --scale standard
     python -m repro trace --out ./trace --scale small
     python -m repro faults --scenario control_plane_blackout --seed 42
+    python -m repro faults --scenario region_cn_outage --json
     python -m repro perf --scale small --profile
 """
 
@@ -40,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 import time
 
@@ -92,6 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault hold period, seconds (default: 3600)")
     faults.add_argument("--list", action="store_true", dest="list_scenarios",
                         help="list available scenarios and exit")
+    faults.add_argument("--json", action="store_true", dest="json_report",
+                        help="emit the drill report as JSON (for CI artifacts)")
 
     perf = sub.add_parser(
         "perf", help="run the standard scenario and print perf counters"
@@ -228,7 +232,10 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:  # bad --at/--duration (spec validation)
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(report.text)
+        if args.json_report:
+            print(json.dumps(report.as_json(), indent=2, sort_keys=True))
+        else:
+            print(report.text)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

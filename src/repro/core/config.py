@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["ClientConfig", "ControlPlaneConfig", "SystemConfig"]
+__all__ = [
+    "ClientConfig", "ControlChannelConfig", "ControlPlaneConfig", "SystemConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -143,11 +145,67 @@ class ControlPlaneConfig:
 
 
 @dataclass(frozen=True)
+class ControlChannelConfig:
+    """Peer↔CN control-channel behaviour (the §3.8 reliability layer).
+
+    Every control RPC (login, query, register/refresh, usage report, RE-ADD
+    reply) flows through a per-peer :class:`~repro.core.control.channel.ControlChannel`
+    governed by these knobs.  The defaults describe an *ideal* channel —
+    zero latency, zero loss — under which every RPC is delivered
+    synchronously, exactly as a direct Python call: the fixed-seed golden
+    experiments depend on that equivalence.  Fault scenarios raise latency
+    and loss per peer (see :class:`~repro.faults.spec.ControlMessageLoss`).
+    """
+
+    #: One-way message latency, seconds.  0 = synchronous delivery.
+    latency: float = 0.0
+    #: Per-direction message loss probability.  0 = lossless.
+    loss_prob: float = 0.0
+    #: Seconds a request waits for its response before retrying.
+    request_timeout: float = 15.0
+    #: Retries per request after the first attempt; past this the request
+    #: gives up (the caller's ``on_giveup`` fires).
+    max_retries: int = 4
+    #: First retry backoff, seconds; doubles per retry up to the cap.
+    backoff_base: float = 2.0
+    #: Ceiling on the exponential backoff, seconds.
+    backoff_cap: float = 120.0
+    #: Jitter fraction applied to each backoff delay, drawn from the
+    #: channel's own string-seeded RNG (deterministic per peer).
+    backoff_jitter: float = 0.25
+    #: Consecutive failed attempts (across requests) that trip the circuit
+    #: breaker into the ``degraded`` edge-only state.
+    breaker_threshold: int = 5
+    #: Seconds between recovery probes while degraded.  On probe success the
+    #: peer re-logs-in, re-registers, and promotes edge-only sessions.
+    probe_interval: float = 60.0
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError("latency must be >= 0")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 0 < backoff_base <= backoff_cap")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.breaker_threshold <= 0:
+            raise ValueError("breaker_threshold must be positive")
+        if self.probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level assembly of all configuration."""
 
     client: ClientConfig = field(default_factory=ClientConfig)
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
+    channel: ControlChannelConfig = field(default_factory=ControlChannelConfig)
     #: Control-plane and edge deployment density, per network region.  The
     #: real deployment ran 197 control-plane servers over <20 network
     #: regions; one CN/DN pair per region is the scale-appropriate default.
@@ -175,3 +233,7 @@ class SystemConfig:
     def with_control_plane(self, **changes) -> "SystemConfig":
         """Return a copy with control-plane fields replaced."""
         return replace(self, control_plane=replace(self.control_plane, **changes))
+
+    def with_channel(self, **changes) -> "SystemConfig":
+        """Return a copy with control-channel fields replaced."""
+        return replace(self, channel=replace(self.channel, **changes))

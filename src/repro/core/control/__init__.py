@@ -1,5 +1,7 @@
-"""NetSession control plane: connection nodes, database nodes, STUN, monitoring."""
+"""NetSession control plane: connection nodes, database nodes, STUN, monitoring,
+and the per-peer control-channel reliability layer."""
 
+from repro.core.control.channel import ControlChannel, ControlChannelStats
 from repro.core.control.connection_node import ConnectionNode
 from repro.core.control.database_node import DatabaseNode, PeerRegistration
 from repro.core.control.monitoring import MonitoringService
@@ -7,6 +9,7 @@ from repro.core.control.plane import ControlPlane
 from repro.core.control.stun import StunService
 
 __all__ = [
-    "ConnectionNode", "DatabaseNode", "PeerRegistration",
+    "ConnectionNode", "ControlChannel", "ControlChannelStats",
+    "DatabaseNode", "PeerRegistration",
     "MonitoringService", "ControlPlane", "StunService",
 ]

@@ -242,10 +242,17 @@ class ConnectionNode:
     def broadcast_re_add(self, now: float) -> int:
         """Ask every connected peer to re-list its files (§3.8 RE-ADD).
 
-        Returns the number of peers that answered.
+        The exchange rides each peer's control channel, so replies can be
+        delayed or lost under an active fault (the periodic registration
+        refresh heals any gap).  Returns the number of peers that answered.
         """
         answered = 0
         for peer in list(self.connected.values()):
+            channel = getattr(peer, "channel", None)
+            if channel is not None:
+                if channel.answer_re_add(self):
+                    answered += 1
+                continue
             cids = peer.handle_re_add()
             for cid in cids:
                 self.register_content(peer, cid, now)

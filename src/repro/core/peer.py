@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.control.channel import ControlChannel
 from repro.core.ids import SECONDARY_HISTORY_LENGTH, make_guid, make_secondary_guid
 from repro.core.messages import CrashReport
 from repro.net.links import AccessLink
@@ -99,6 +100,9 @@ class PeerNode:
         self.ip: str = ""
         self.cn: Optional["ConnectionNode"] = None
         self._refresh_event = None
+        #: The §3.8 reliability layer: every CN RPC flows through it, with
+        #: retries, CN failover, and recoverable edge-only degradation.
+        self.channel = ControlChannel(self)
 
         #: Per-piece corruption probability when this peer uploads; the
         #: population layer raises it for broken/malicious machines.
@@ -167,13 +171,14 @@ class PeerNode:
         """Connect: obtain an IP, open the control connection, resume work.
 
         If no CN is reachable (total control-plane failure, §3.8) the peer
-        still comes online — downloads fall back to edge-only.
+        still comes online — downloads fall back to edge-only while the
+        channel's breaker/probe machinery keeps trying to get back in.
         """
         if self.online:
             return
         self.online = True
         self.ip = self.system.allocator.assign(self.asys, self.country, self.city)
-        self.cn = self.system.control.login(self)
+        self.channel.connect()
         # Refresh directory registrations well inside the DN soft-state TTL
         # (registrations expire unless refreshed — §3.8 soft state).
         ttl = self.system.config.control_plane.registration_ttl
@@ -188,12 +193,15 @@ class PeerNode:
                 session.resume()
 
     def _refresh_registrations(self) -> None:
-        """Periodic soft-state refresh of this peer's directory entries."""
-        if not self.online or self.cn is None or not self.cn.alive:
+        """Periodic soft-state refresh of this peer's directory entries.
+
+        Routed through the channel: if this peer's CN has died, the refresh
+        fails over to a live CN (re-opening the control connection there)
+        instead of silently no-oping until the registrations expire.
+        """
+        if not self.online:
             return
-        now = self.system.sim.now
-        for cid in self.shareable_cids():
-            self.cn.register_content(self, cid, now)
+        self.channel.refresh_registrations()
 
     def go_offline(self) -> None:
         """Disconnect: pause downloads, kill uploads, close the control conn."""
@@ -220,6 +228,7 @@ class PeerNode:
                     self.system.flows.abort_flow(flow)
         self.upload_flows.clear()
         self.active_upload_count = 0
+        self.channel.reset()
         if self.cn is not None:
             self.cn.logout(self)
             self.cn = None
@@ -230,7 +239,7 @@ class PeerNode:
         """Re-open the control connection after a CN failure (§3.8)."""
         if not self.online:
             return
-        self.cn = self.system.control.login(self)
+        self.channel.reconnect()
 
     def churn(self, downtime: float) -> None:
         """Knock an online peer offline for ``downtime`` seconds.
@@ -283,14 +292,18 @@ class PeerNode:
         self.cache[cid] = CacheEntry(cid=cid, completed_at=now)
         retention = self.system.config.client.cache_retention
         self.system.sim.schedule(retention, lambda: self._evict(cid))
-        if self.uploads_enabled and self.cn is not None and self.cn.alive:
-            self.cn.register_content(self, cid, now)
-            self.cache[cid].registered = True
+        if self.uploads_enabled:
+            self.channel.register(cid, on_registered=lambda: self._mark_registered(cid))
+
+    def _mark_registered(self, cid: str) -> None:
+        entry = self.cache.get(cid)
+        if entry is not None:
+            entry.registered = True
 
     def _evict(self, cid: str) -> None:
         entry = self.cache.pop(cid, None)
-        if entry is not None and entry.registered and self.cn is not None:
-            self.cn.unregister_content(self, cid)
+        if entry is not None and entry.registered:
+            self.channel.unregister(cid)
 
     def has_complete(self, cid: str) -> bool:
         """Does the local cache hold a verified complete copy?"""
@@ -324,8 +337,8 @@ class PeerNode:
             return False
         self.active_upload_count += 1
         self.uploads_done[cid] = self.uploads_done.get(cid, 0) + 1
-        if self.upload_budget_left(cid) == 0 and self.cn is not None:
-            self.cn.unregister_content(self, cid)
+        if self.upload_budget_left(cid) == 0:
+            self.channel.unregister(cid)
         return True
 
     def release_upload(self) -> None:
@@ -363,18 +376,17 @@ class PeerNode:
             return
         self.uploads_enabled = enabled
         self.setting_changes += 1
-        if self.cn is None or not self.cn.alive:
+        if not self.online:
             return
-        now = self.system.sim.now
         if enabled:
             for cid in self.shareable_cids():
-                self.cn.register_content(self, cid, now)
-                if cid in self.cache:
-                    self.cache[cid].registered = True
+                self.channel.register(
+                    cid, on_registered=lambda c=cid: self._mark_registered(c)
+                )
         else:
             for entry in self.cache.values():
                 if entry.registered:
-                    self.cn.unregister_content(self, entry.cid)
+                    self.channel.unregister(entry.cid)
                     entry.registered = False
 
     # ------------------------------------------------------------ control plane

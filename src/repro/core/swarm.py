@@ -346,6 +346,13 @@ class DownloadSession:
         self._tried_guids: set[str] = set()
         self._backstop_event = None
         self._pending_attempts = 0
+        #: True while peer sourcing (queries + backstop) is attached; reset
+        #: on teardown so resume/promotion can re-attach it.
+        self._p2p_started = False
+        #: Empty-response query retries granted by a post-outage promotion:
+        #: right after a control-plane recovery the directory is still
+        #: repopulating, so an empty answer means "ask again", not "give up".
+        self._recovery_requeries = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -371,11 +378,43 @@ class DownloadSession:
 
         self._fill_pool()
         self._open_edge_connection()
-        if self.p2p_active and self.peer.cn is not None and self.peer.cn.alive:
-            self._schedule_query()
-            self._start_backstop()
-        # else: infrastructure-only (provider policy, global switch, or
-        # total control-plane failure — §3.8's final fallback).
+        if self.p2p_active:
+            if self.peer.cn is None or not self.peer.cn.alive:
+                # CN momentarily unreachable: ask the channel to re-open the
+                # control connection (failover).  If the whole control plane
+                # is down, the breaker/probe machinery will promote this
+                # session to hybrid once it recovers — edge-only is a mode,
+                # not a life sentence (§3.8).
+                self.peer.channel.ensure_connected()
+            self._begin_p2p()
+        # else: infrastructure-only (provider policy or global switch).
+
+    def _begin_p2p(self) -> None:
+        """Attach peer sourcing: first query plus the edge backstop."""
+        if self._p2p_started or self.state != "active" or not self.p2p_active:
+            return
+        if self.peer.cn is None or not self.peer.cn.alive:
+            return
+        self._p2p_started = True
+        self._schedule_query()
+        self._start_backstop()
+
+    def promote_to_hybrid(self) -> bool:
+        """Re-attach peer sourcing after control-plane recovery (§3.8).
+
+        Called by the peer's control channel when its connection is
+        re-established (probe success, failover, external reconnect).  An
+        edge-only in-flight download regains peer sources mid-transfer;
+        returns True if the session was actually promoted.
+        """
+        if self._p2p_started or self.state != "active" or not self.p2p_active:
+            return False
+        if self.peer.cn is None or not self.peer.cn.alive:
+            return False
+        self._tried_guids.clear()  # pre-outage candidates are stale
+        self._recovery_requeries = 3
+        self._begin_p2p()
+        return True
 
     def _fill_pool(self) -> None:
         self.piece_pool = [
@@ -450,17 +489,32 @@ class DownloadSession:
     def _run_query(self) -> None:
         if self.state != "active" or not self.p2p_active:
             return
-        cn = self.peer.cn
-        if cn is None or not cn.alive or self._token is None:
+        if self._token is None:
             return
-        response = cn.query(
-            self.peer, self.obj.cid, self._token,
-            exclude=frozenset(self._tried_guids),
+        self.peer.channel.query(
+            self.obj.cid, self._token,
+            frozenset(self._tried_guids),
+            self._handle_query_response,
         )
+
+    def _handle_query_response(self, response) -> None:
+        if self.state != "active" or not self.p2p_active:
+            return
         self._queries_done += 1
         if self._queries_done == 1:
             self.peers_initially_returned = len(response.candidates)
         cfg = self.system.config.client
+        if not response.candidates:
+            if self._recovery_requeries > 0 and self.piece_pool:
+                # Promotion raced the directory repopulating after a
+                # control-plane recovery: the seeders' own re-logins and
+                # RE-ADD replies are still in flight, so ask again on a
+                # probe-ish cadence instead of settling for edge-only.
+                self._recovery_requeries -= 1
+                delay = 0.5 * self.system.config.channel.probe_interval
+                self.system.sim.schedule(delay, self._run_query)
+            return
+        self._recovery_requeries = 0
         for cand in response.candidates:
             self._tried_guids.add(cand.guid)
             delay = self.rng.uniform(*cfg.handshake_delay)
@@ -605,11 +659,12 @@ class DownloadSession:
         self.state = "active"
         self._fill_pool()
         self._open_edge_connection()
-        if self.p2p_active and self.peer.cn is not None and self.peer.cn.alive:
+        if self.p2p_active:
             self._queries_done = max(1, self._queries_done)  # keep fig-6 counter
             self._tried_guids.clear()
-            self._schedule_query()
-            self._start_backstop()
+            if self.peer.cn is None or not self.peer.cn.alive:
+                self.peer.channel.ensure_connected()
+            self._begin_p2p()
 
     def abort(self) -> None:
         """User cancels (or never resumes) the download: terminal."""
@@ -635,6 +690,7 @@ class DownloadSession:
         self._finish(OUTCOME_COMPLETED, None)
 
     def _teardown_transfers(self, *, credit_partial: bool) -> None:
+        self._p2p_started = False
         if self._backstop_event is not None:
             self._backstop_event.cancel()
             self._backstop_event = None
@@ -695,13 +751,11 @@ class DownloadSession:
             corrupted_bytes=self.corrupted_bytes,
             prefetch=self.is_prefetch,
         )
-        cn = self.peer.cn
-        if cn is not None and cn.alive:
-            cn.report_usage(report)
-        else:
-            # Logs are uploaded when connectivity returns; the trace still
-            # sees the download (billing without a CN is deferred).
-            self.system.accounting.ingest(report)
+        # Through the channel: lossy/retrying when configured, failing over
+        # past a dead CN, and deferring to the accounting log when no CN is
+        # reachable at all (logs are uploaded when connectivity returns; the
+        # trace still sees the download, billing is deferred).
+        self.peer.channel.report_usage(report)
         self.system.logstore.add_download(record)
 
     # ------------------------------------------------------------- inspection

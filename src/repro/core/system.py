@@ -32,6 +32,7 @@ from repro.analysis.logstore import LogStore
 from repro.core.accounting import AccountingService
 from repro.core.config import SystemConfig
 from repro.core.content import ContentObject, ContentProvider
+from repro.core.control.channel import ControlChannelStats
 from repro.core.control.plane import ControlPlane
 from repro.core.edge import EdgeNetwork
 from repro.core.peer import PeerNode
@@ -73,9 +74,11 @@ class SystemStats:
     flows_aborted: int
     #: Allocation-engine counters (see :class:`FlowNetworkStats`).
     flows: FlowNetworkStats
+    #: Control-channel robustness counters (see :class:`ControlChannelStats`).
+    channel: ControlChannelStats
 
     def as_dict(self) -> dict[str, float]:
-        """Flat key/value view for tables and JSON (flow_* prefixed)."""
+        """Flat key/value view for tables and JSON (flow_*/ctrl_* prefixed)."""
         out: dict[str, float] = {
             "now": round(self.now, 1),
             "events_processed": self.events_processed,
@@ -90,6 +93,8 @@ class SystemStats:
         }
         for key, value in self.flows.as_dict().items():
             out[f"flow_{key}"] = value
+        for key, value in self.channel.as_dict().items():
+            out[f"ctrl_{key}"] = value
         return out
 
 
@@ -109,6 +114,9 @@ class NetSessionSystem:
         self.rng = random.Random(seed)
         self.sim = Simulator()
         self.flows = FlowNetwork(self.sim, batching=self.config.flow_batching)
+        #: Fleet-wide control-channel robustness counters; every peer's
+        #: :class:`~repro.core.control.channel.ControlChannel` feeds it.
+        self.channel_stats = ControlChannelStats()
 
         self.world = world if world is not None else build_core_world()
         self.topology = (
@@ -246,6 +254,7 @@ class NetSessionSystem:
             flows_completed=self.flows.completed_count,
             flows_aborted=self.flows.aborted_count,
             flows=self.flows.stats.snapshot(),
+            channel=self.channel_stats.snapshot(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

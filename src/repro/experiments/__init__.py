@@ -15,5 +15,5 @@ ALL_EXPERIMENTS = [
     "exp_offload", "exp_reliability", "exp_mobility",
     "exp_baselines", "exp_ablation_locality", "exp_ablation_backstop",
     "exp_lan_updates", "exp_ablation_prefetch", "exp_managed_swarm",
-    "exp_fault_matrix",
+    "exp_fault_matrix", "exp_blackout_recovery",
 ]

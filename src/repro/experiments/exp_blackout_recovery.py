@@ -1,0 +1,181 @@
+"""Experiment: blackout recovery — probe-driven return from edge-only mode.
+
+The §3.8 story the control channel makes measurable: a 10-minute total
+control-plane blackout hits a small fleet mid-download, with *self
+recovery* enabled — the restore brings the servers back but schedules no
+reconnections, so every peer must find its own way home through the
+channel's breaker probes.  The experiment verifies the acceptance bar of
+the reliability layer:
+
+* every peer whose breaker tripped is back in hybrid mode within one
+  probe interval of the restore;
+* the robustness counters show non-zero time-to-recover and
+  degraded-seconds;
+* downloads that *started inside* the blackout (edge-only from their
+  first byte) are promoted back to hybrid mid-transfer and end with
+  peer bytes on the wire.
+
+Links are pinned to fixed speeds (not sampled) so the wave timing is
+insensitive to the broadband mix: the during-blackout downloads are
+provably still in flight when the probes succeed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import pct, render_table
+from repro.core.config import SystemConfig
+from repro.core.content import ContentObject, ContentProvider
+from repro.core.peer import CacheEntry, PeerNode
+from repro.core.system import NetSessionSystem
+from repro.experiments.common import ExperimentOutput
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import ControlPlaneBlackout
+from repro.net.flows import Resource
+from repro.net.links import AccessLink, mbps
+
+MB = 1024 * 1024
+
+#: Blackout window: 10 minutes starting at t=600s.
+FAULT_AT = 600.0
+FAULT_DURATION = 600.0
+
+WAVES = ("before", "during", "after")
+#: First download of each wave, seconds (subsequent ones stagger by 30s).
+WAVE_TIMES = {
+    "before": 300.0,                            # hybrid when the fault hits
+    "during": FAULT_AT + 100.0,                 # edge-only from byte one
+    "after": FAULT_AT + FAULT_DURATION + 300.0, # control plane healthy again
+}
+
+
+def _pin_link(peer: PeerNode, down_mbps: float, up_mbps: float) -> None:
+    """Replace the sampled access link with a fixed-speed one."""
+    owner = f"pin-{peer.guid[:8]}"
+    peer.link = AccessLink(
+        downlink=Resource(f"{owner}/down", mbps(down_mbps)),
+        uplink=Resource(f"{owner}/up", mbps(up_mbps)),
+        tier="pinned",
+    )
+
+
+def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
+    """One 10-minute self-recovery blackout against a pinned-link fleet."""
+    wave_size = 8 if scale == "standard" else 4
+    n_seeders = 24 if scale == "standard" else 12
+
+    # A short soft-state TTL makes the seeders' periodic refresh (ttl/3)
+    # land inside the blackout window: their refresh RPCs fail, trip the
+    # breaker, and the recovery probes re-register them minutes — not
+    # hours — after the restore, which is what repopulates the directory
+    # for the promoted mid-blackout downloads.
+    config = SystemConfig().with_control_plane(registration_ttl=900.0)
+    system = NetSessionSystem(config=config, seed=seed)
+    cfg = system.config.channel
+    provider = ContentProvider(cp_code=9002, name="BlackoutCo")
+    # 3 GB at the pinned 20 Mbit/s downlink needs ~20 min edge-only, so a
+    # download started inside the 10-minute blackout is still in flight
+    # when the probes fire.
+    obj = ContentObject("blackoutco/restore.bin", 3 * 1024 * MB, provider,
+                        p2p_enabled=True)
+    system.publish(obj)
+
+    country = system.world.by_code["DE"]
+    for _ in range(n_seeders):
+        seeder = system.create_peer(country=country, uploads_enabled=True)
+        _pin_link(seeder, down_mbps=30.0, up_mbps=10.0)
+        seeder.cache[obj.cid] = CacheEntry(obj.cid, completed_at=0.0)
+        seeder.boot()
+
+    blackout = ControlPlaneBlackout(
+        "blackout", start=FAULT_AT, duration=FAULT_DURATION,
+        self_recovery=True,
+    )
+    injector = FaultInjector(system, (blackout,), seed=seed)
+    injector.arm()
+
+    sessions: dict[str, list] = {w: [] for w in WAVES}
+    downloaders: list[PeerNode] = []
+
+    def start_wave(wave: str, peer: PeerNode) -> None:
+        if peer.online:
+            sessions[wave].append(peer.start_download(obj))
+
+    for wave in WAVES:
+        for i in range(wave_size):
+            peer = system.create_peer(country=country, uploads_enabled=True)
+            _pin_link(peer, down_mbps=20.0, up_mbps=4.0)
+            peer.boot()
+            downloaders.append(peer)
+            system.sim.schedule_at(
+                WAVE_TIMES[wave] + 30.0 * i,
+                lambda w=wave, p=peer: start_wave(w, p),
+            )
+
+    horizon = 4 * 3600.0
+    system.run(until=horizon)
+    system.finalize_open_downloads()
+
+    # ---- recovery latency: probe-driven return after the restore ----------
+    restore_t = FAULT_AT + FAULT_DURATION
+    tripped = [p for p in system.all_peers if p.channel.times_degraded > 0]
+    recovered = [p for p in tripped if p.channel.last_recovered_at is not None]
+    lags = [p.channel.last_recovered_at - restore_t for p in recovered]
+    max_lag = max(lags) if lags else 0.0
+    all_within_probe = (
+        len(recovered) == len(tripped)
+        and all(lag <= cfg.probe_interval for lag in lags)
+    )
+
+    stats = system.channel_stats
+    during = sessions["during"]
+    promoted_with_peer_bytes = sum(1 for s in during if s.peer_bytes > 0)
+
+    rows = []
+    metrics: dict[str, float] = {}
+    for wave in WAVES:
+        batch = sessions[wave]
+        n = len(batch)
+        completed = sum(1 for s in batch if s.state == "completed")
+        hybrid = sum(1 for s in batch if s.peer_bytes > 0)
+        mean_pf = (sum(s.peer_fraction for s in batch) / n) if n else 0.0
+        rows.append([wave, n, completed, hybrid, pct(mean_pf)])
+        metrics[f"{wave}_downloads"] = n
+        metrics[f"{wave}_completed"] = completed
+        metrics[f"{wave}_hybrid"] = hybrid
+    text = render_table(
+        f"blackout recovery: {FAULT_DURATION / 60:.0f}-minute self-recovery "
+        f"blackout at t={FAULT_AT:.0f}s (probe interval "
+        f"{cfg.probe_interval:.0f}s)",
+        ["wave", "downloads", "completed", "hybrid", "peer eff."],
+        rows,
+    )
+
+    robustness = [
+        ["peers tripped to degraded", len(tripped)],
+        ["peers recovered", len(recovered)],
+        ["max recovery lag after restore", f"{max_lag:.1f}s"],
+        ["all back within one probe interval", "yes" if all_within_probe else "NO"],
+        ["breaker trips", stats.breaker_trips],
+        ["probes (failed)", f"{stats.probes} ({stats.probe_failures})"],
+        ["degraded seconds", f"{stats.degraded_seconds:.1f}"],
+        ["mean time to recover", f"{stats.mean_time_to_recover:.1f}s"],
+        ["sessions promoted to hybrid", stats.sessions_promoted],
+        ["blackout-started downloads with peer bytes",
+         f"{promoted_with_peer_bytes}/{len(during)}"],
+    ]
+    text += "\n\n" + render_table(
+        "control-channel robustness (§3.8)", ["metric", "value"], robustness,
+    )
+
+    metrics.update({
+        "peers_tripped": len(tripped),
+        "peers_recovered": len(recovered),
+        "max_recovery_lag": max_lag,
+        "all_within_probe_interval": 1.0 if all_within_probe else 0.0,
+        "breaker_trips": stats.breaker_trips,
+        "degraded_seconds": stats.degraded_seconds,
+        "mean_time_to_recover": stats.mean_time_to_recover,
+        "sessions_promoted": stats.sessions_promoted,
+        "during_with_peer_bytes": promoted_with_peer_bytes,
+    })
+    return ExperimentOutput(name="blackout_recovery", text=text, metrics=metrics)

@@ -22,15 +22,16 @@ from repro.faults.injector import FaultInjector, InjectionEvent
 from repro.faults.metrics import FaultRecovery, RecoveryTracker
 from repro.faults.scenarios import SCENARIOS, build_scenario, scenario_names
 from repro.faults.spec import (
-    CNOutage, ControlPlaneBlackout, DNWipe, EdgeBrownout, FaultSpec,
-    FlakyUploader, InjectionContext, LinkDegradation, NATRebind,
-    PeerChurnStorm,
+    CNOutage, ControlLatencySpike, ControlMessageLoss, ControlPlaneBlackout,
+    DNWipe, EdgeBrownout, FaultSpec, FlakyUploader, InjectionContext,
+    LinkDegradation, NATRebind, PeerChurnStorm, RegionPartition,
 )
 
 __all__ = [
     "FaultSpec", "InjectionContext",
     "CNOutage", "DNWipe", "ControlPlaneBlackout", "EdgeBrownout",
     "LinkDegradation", "NATRebind", "PeerChurnStorm", "FlakyUploader",
+    "ControlMessageLoss", "ControlLatencySpike", "RegionPartition",
     "FaultInjector", "InjectionEvent",
     "FaultRecovery", "RecoveryTracker",
     "SCENARIOS", "build_scenario", "scenario_names",

@@ -45,6 +45,9 @@ class DrillReport:
     recoveries: list[FaultRecovery]
     #: wave -> list of finished sessions (state inspected post-run).
     sessions: dict[str, list[DownloadSession]] = field(default_factory=dict)
+    #: End-of-run control-channel robustness counters (retries, timeouts,
+    #: breaker trips, degraded-seconds, time-to-recover, promotions).
+    channel: dict[str, float] = field(default_factory=dict)
     text: str = ""
 
     def wave_stats(self, wave: str) -> dict[str, float]:
@@ -63,6 +66,29 @@ class DrillReport:
             "completion_rate": completed / n,
             "edge_only": edge_only,
             "mean_peer_fraction": mean_pf,
+        }
+
+    def as_json(self) -> dict:
+        """Machine-readable view of the drill (``repro faults --json``)."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "timeline": [str(e) for e in self.timeline],
+            "waves": {wave: self.wave_stats(wave) for wave in WAVES},
+            "recoveries": [
+                {
+                    "fault": rec.fault,
+                    "kind": rec.kind,
+                    "applied_at": rec.applied_at,
+                    "reverted_at": rec.reverted_at,
+                    "connected_dip": rec.connected_dip,
+                    "registrations_dip": rec.registrations_dip,
+                    "time_to_reconnect": rec.time_to_reconnect,
+                    "re_add_convergence": rec.re_add_convergence,
+                }
+                for rec in self.recoveries
+            ],
+            "channel": self.channel,
         }
 
 
@@ -114,6 +140,13 @@ def _render(report: DrillReport) -> str:
          "regs lost", "reconnect", "re-add conv."],
         rows,
     ))
+    if report.channel:
+        lines.append("")
+        lines.append(render_table(
+            "control-channel robustness",
+            ["counter", "value"],
+            [[key, value] for key, value in report.channel.items()],
+        ))
     return "\n".join(lines)
 
 
@@ -181,6 +214,7 @@ def run_drill(
         recoveries=[injector.recoveries[s.name] for s in injector.specs
                     if s.name in injector.recoveries],
         sessions=sessions,
+        channel=system.channel_stats.as_dict(),
     )
     report.text = _render(report)
     return report

@@ -15,8 +15,9 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.faults.spec import (
-    CNOutage, ControlPlaneBlackout, DNWipe, EdgeBrownout, FaultSpec,
-    FlakyUploader, LinkDegradation, NATRebind, PeerChurnStorm,
+    CNOutage, ControlLatencySpike, ControlMessageLoss, ControlPlaneBlackout,
+    DNWipe, EdgeBrownout, FaultSpec, FlakyUploader, LinkDegradation,
+    NATRebind, PeerChurnStorm, RegionPartition,
 )
 
 __all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
@@ -73,6 +74,25 @@ def _flaky_uploaders(at: float, duration: float) -> tuple[FaultSpec, ...]:
                           fraction=0.2, corruption_prob=0.05),)
 
 
+def _control_message_loss(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """30% control-message loss fleet-wide; timeouts and backoff absorb it."""
+    return (ControlMessageLoss("control-loss", start=at, duration=duration,
+                               fraction=1.0, loss_prob=0.3),)
+
+
+def _control_latency_spike(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """Control RTT jumps to 10s fleet-wide (5s each way); RPCs slow, none die."""
+    return (ControlLatencySpike("control-latency", start=at, duration=duration,
+                                fraction=1.0, latency=5.0),)
+
+
+def _control_partition(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """All peers lose the control path while the servers stay healthy;
+    breakers trip to edge-only and probes recover the fleet on heal."""
+    return (RegionPartition("control-partition", start=at, duration=duration,
+                            region=None),)
+
+
 def _rolling_upgrade(at: float, duration: float) -> tuple[FaultSpec, ...]:
     """A software push rolls through the control plane in three waves."""
     wave = max(duration, 60.0) / 3.0
@@ -106,6 +126,9 @@ SCENARIOS: dict[str, ScenarioFactory] = {
     "nat_rebind": _nat_rebind,
     "churn_storm": _churn_storm,
     "flaky_uploaders": _flaky_uploaders,
+    "control_message_loss": _control_message_loss,
+    "control_latency_spike": _control_latency_spike,
+    "control_partition": _control_partition,
     "rolling_upgrade": _rolling_upgrade,
     "perfect_storm": _perfect_storm,
 }

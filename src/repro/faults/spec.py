@@ -34,6 +34,7 @@ __all__ = [
     "FaultSpec", "InjectionContext",
     "CNOutage", "DNWipe", "ControlPlaneBlackout", "EdgeBrownout",
     "LinkDegradation", "NATRebind", "PeerChurnStorm", "FlakyUploader",
+    "ControlMessageLoss", "ControlLatencySpike", "RegionPartition",
 ]
 
 T = TypeVar("T")
@@ -208,16 +209,124 @@ class ControlPlaneBlackout(FaultSpec):
     edge-only.  On restore the DNs come back empty and are repopulated by
     peer logins and registration refreshes; online peers are reconnected
     rate-limited through the plane's shared token bucket.
+
+    With ``self_recovery=True`` the restore brings the servers back but
+    schedules no reconnections: the clients must find their own way back
+    through the control channel's breaker probes and refresh failovers —
+    the scenario `exp_blackout_recovery` measures.
     """
 
     region: str | None = None
+    #: Leave recovery entirely to the per-peer channel machinery.
+    self_recovery: bool = False
 
     def apply(self, ctx: InjectionContext) -> object:
         ctx.system.control.blackout(self.region)
         return None
 
     def revert(self, ctx: InjectionContext, token: object) -> None:
-        ctx.system.control.restore(self.region, peers=ctx.system.all_peers)
+        peers = None if self.self_recovery else ctx.system.all_peers
+        ctx.system.control.restore(self.region, peers=peers)
+
+
+# -------------------------------------------------------------- control channel
+
+
+@dataclass(frozen=True)
+class ControlMessageLoss(FaultSpec):
+    """Drop a fraction of control messages on a set of peers' channels.
+
+    Each affected peer's :class:`~repro.core.control.channel.ControlChannel`
+    starts losing messages in both directions with ``loss_prob``; the
+    channel's timeouts, backoff retries, and (past the breaker threshold)
+    degraded-mode machinery absorb the damage.  The fault composes with
+    :class:`ControlLatencySpike` — each restores only the knob it touched.
+    """
+
+    #: Fraction of peers whose channel turns lossy.
+    fraction: float = 1.0
+    #: Per-direction message loss probability while the fault holds.
+    loss_prob: float = 0.3
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError(
+                f"fault {self.name!r}: loss_prob must be in [0, 1), got {self.loss_prob}"
+            )
+
+    def apply(self, ctx: InjectionContext) -> object:
+        victims = []
+        for peer in ctx.select(ctx.system.all_peers, self.fraction):
+            victims.append((peer, peer.channel.loss_prob))
+            peer.channel.loss_prob = self.loss_prob
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        for peer, old in token:
+            peer.channel.loss_prob = old
+
+
+@dataclass(frozen=True)
+class ControlLatencySpike(FaultSpec):
+    """Inflate control-channel latency on a set of peers (congested path).
+
+    Every RPC now takes two one-way trips of ``latency`` seconds; responses
+    slower than the channel's request timeout are treated as lost, so a
+    spike past the timeout shades into effective message loss.
+    """
+
+    fraction: float = 1.0
+    #: One-way control-message latency while the fault holds, seconds.
+    latency: float = 5.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.latency < 0:
+            raise ValueError(
+                f"fault {self.name!r}: latency must be >= 0, got {self.latency}"
+            )
+
+    def apply(self, ctx: InjectionContext) -> object:
+        victims = []
+        for peer in ctx.select(ctx.system.all_peers, self.fraction):
+            victims.append((peer, peer.channel.latency))
+            peer.channel.latency = self.latency
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        for peer, old in token:
+            peer.channel.latency = old
+
+
+@dataclass(frozen=True)
+class RegionPartition(FaultSpec):
+    """Cut the control path between a region's peers and every CN.
+
+    Unlike :class:`ControlPlaneBlackout` the servers stay healthy — only
+    the affected peers cannot reach them (a transit dispute, a mis-pushed
+    ACL).  Their channels stop delivering messages entirely: requests time
+    out, breakers trip, downloads degrade to edge-only, and when the
+    partition heals the recovery probes bring the region back without any
+    server-side action.  ``region=None`` partitions every peer.
+    """
+
+    #: Network region to cut off; None = all peers everywhere.
+    region: str | None = None
+
+    def apply(self, ctx: InjectionContext) -> object:
+        victims = []
+        for peer in ctx.system.all_peers:
+            if self.region is not None and peer.network_region != self.region:
+                continue
+            if peer.channel.reachable:
+                peer.channel.reachable = False
+                victims.append(peer)
+        return victims
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        for peer in token:
+            peer.channel.reachable = True
 
 
 # ------------------------------------------------------------------- data path

@@ -340,3 +340,73 @@ class TestAccountingIntegration:
         # The download record still exists (logs vs billing are separate).
         assert any(r.guid == downloader.guid
                    for r in system.logstore.downloads)
+
+
+class TestBlackoutPromotion:
+    """Downloads started while the control plane is down must regain peer
+    sources after recovery (§3.8) — they used to stay edge-only forever."""
+
+    def _blackout_scene(self, seed=7):
+        from repro.core import ContentProvider
+
+        system = NetSessionSystem(seed=seed)
+        provider = ContentProvider(cp_code=9001, name="BlackoutCo")
+        obj = ContentObject("blk.bin", 600 * 1024 * 1024, provider, p2p_enabled=True)
+        seeders, downloader = make_swarm_scene(system, obj)
+        return system, obj, seeders, downloader
+
+    def test_blackout_started_download_is_promoted_on_reconnect(self):
+        system, obj, seeders, downloader = self._blackout_scene()
+        system.run(until=10.0)
+        system.control.blackout()
+        session = downloader.start_download(obj)
+        # edge-only from byte one: the login retries are still failing
+        system.run(until=200.0)
+        assert session.state == "active"
+        assert session.peer_bytes == 0
+        assert downloader.channel.times_degraded == 1
+
+        # restore with scheduled reconnects (the §3.8 rate-limited path):
+        # seeders re-register and the degraded downloader is promoted
+        system.control.restore(peers=list(system.all_peers))
+        system.run(until=12 * HOUR)
+        assert session.state == "completed"
+        assert session.peer_bytes > 0
+        assert system.channel_stats.sessions_promoted >= 1
+
+    def test_blackout_started_download_recovers_via_probes_alone(self):
+        # self recovery: nobody schedules reconnects; the breaker probes
+        # must bring the peer back and the promoted session must re-query
+        # until the repopulating directory has candidates.
+        system, obj, seeders, downloader = self._blackout_scene()
+        system.run(until=10.0)
+        system.control.blackout()
+        session = downloader.start_download(obj)
+        system.run(until=200.0)
+        assert session.peer_bytes == 0
+
+        restore_t = system.sim.now
+        system.control.restore()  # no peers: probe-driven recovery only
+        # seeders have not noticed anything; make a couple of them
+        # re-register the way production does (RE-ADD via their refresh)
+        for seeder in seeders[:4]:
+            seeder.channel.refresh_registrations()
+        system.run(until=12 * HOUR)
+        probe = system.config.channel.probe_interval
+        assert downloader.channel.last_recovered_at is not None
+        assert downloader.channel.last_recovered_at - restore_t <= 2 * probe
+        assert session.state == "completed"
+        assert session.peer_bytes > 0
+
+    def test_momentary_cn_loss_does_not_strand_session(self):
+        # the CN dies an instant before the download starts; the session
+        # must attach peer sourcing once the relogin lands, without any
+        # breaker trip at all.
+        system, obj, seeders, downloader = self._blackout_scene()
+        system.run(until=10.0)
+        system.control.fail_cn(downloader.cn)
+        session = downloader.start_download(obj)
+        system.run(until=8 * HOUR)
+        assert session.state == "completed"
+        assert session.peer_bytes > 0
+        assert downloader.channel.times_degraded == 0

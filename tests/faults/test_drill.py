@@ -97,3 +97,35 @@ class TestFaultMatrix:
         a = exp_fault_matrix.run("small", 42)
         b = exp_fault_matrix.run("small", 42)
         assert a.text == b.text
+
+
+class TestDrillJSON:
+    def test_as_json_round_trips_and_is_deterministic(self):
+        import json
+
+        def one():
+            report = run_drill("cn_flap", 5, fault_duration=900.0,
+                               horizon=2 * 3600.0)
+            return json.dumps(report.as_json(), sort_keys=True)
+
+        first, second = one(), one()
+        assert first == second
+        data = json.loads(first)
+        assert data["scenario"] == "cn_flap"
+        assert data["seed"] == 5
+        assert set(data["waves"]) == {"before", "during", "after"}
+        for stats in data["waves"].values():
+            assert {"downloads", "completed", "completion_rate",
+                    "edge_only", "mean_peer_fraction"} <= set(stats)
+        assert data["recoveries"]  # the flap recovered
+        # the channel block carries the §3.8 robustness counters
+        assert "breaker_trips" in data["channel"]
+        assert "degraded_seconds" in data["channel"]
+        assert "mean_time_to_recover" in data["channel"]
+
+    def test_lossy_scenario_reports_channel_damage(self):
+        report = run_drill("control_message_loss", 3, fault_duration=1200.0,
+                           horizon=2 * 3600.0)
+        assert report.channel["lost_messages"] > 0
+        assert report.channel["retries"] > 0
+        assert "control-channel robustness" in report.text

@@ -87,3 +87,18 @@ class TestPerfCommand:
         # paper-style text (and its goldens) is unchanged by --perf.
         assert out.index("offload summary") < out.index("perf counters")
         assert "flow_waterfill_calls" in out
+
+
+class TestFaultsJSONFlag:
+    def test_json_flag_emits_machine_readable_report(self, capsys):
+        import json
+
+        args = ["faults", "--scenario", "control_message_loss", "--seed", "7",
+                "--duration", "1200", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        data = json.loads(first)
+        assert data["scenario"] == "control_message_loss"
+        assert data["channel"]["lost_messages"] > 0
+        assert main(args) == 0
+        assert capsys.readouterr().out == first  # byte-stable for CI diffs
