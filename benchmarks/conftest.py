@@ -15,6 +15,17 @@ from repro.experiments.common import standard_result
 SEED = 42
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    The suite is only collected when invoked by path (it is outside
+    ``testpaths``), so the marker is informational — it lets a combined run
+    select or deselect benchmarks with ``-m bench`` without per-file noise.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def small_scale():
     """Pre-warm the small-scale trace shared by most benchmarks."""

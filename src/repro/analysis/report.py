@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 __all__ = ["render_table", "render_series", "render_comparison", "render_perf",
-           "pct", "human_bytes"]
+           "render_audit", "pct", "human_bytes"]
 
 
 def pct(value: float, digits: int = 1) -> str:
@@ -93,6 +93,34 @@ def render_perf(title: str, counters: dict[str, object]) -> str:
             value = int(value)
         rows.append((key, value))
     return render_table(title, ["counter", "value"], rows)
+
+
+def render_audit(title: str, audit: dict) -> str:
+    """Render an invariant-audit summary (counters plus violations).
+
+    ``audit`` is the shape drill reports and ``repro audit`` produce: the
+    flat :class:`~repro.invariants.InvariantStats` counters plus a
+    ``violations`` list of :meth:`~repro.invariants.InvariantViolation.as_dict`
+    entries.  Deterministic for a fixed audit, like every renderer here.
+    """
+    counters = {k: v for k, v in audit.items() if k != "violations"}
+    lines = [render_perf(title, counters)]
+    violations = audit.get("violations", [])
+    if violations:
+        rows = []
+        for v in violations:
+            times = f"{v['first_seen']:.0f}s"
+            if v["count"] > 1:
+                times += f"..{v['last_seen']:.0f}s x{v['count']}"
+            rows.append([v["severity"], v["invariant"], v["subject"],
+                         times, v["detail"]])
+        lines.append("")
+        lines.append(render_table(
+            "invariant violations",
+            ["severity", "invariant", "subject", "seen", "detail"],
+            rows,
+        ))
+    return "\n".join(lines)
 
 
 def render_comparison(

@@ -22,6 +22,12 @@ Commands
     wrap the run in :mod:`cProfile` and print the hottest functions.
     ``run``/``study`` accept ``--perf`` to append the same counter table
     after the normal experiment output.
+``audit``
+    Run the standard scenario (or, with ``--scenario``, a fault drill)
+    with the invariant sanitizer on and print the audit report — every
+    recorded :class:`~repro.invariants.InvariantViolation`, deduplicated.
+    Observe mode by default; ``--strict`` raises on the first error and
+    exits non-zero, which is what CI wants.
 
 Examples
 --------
@@ -35,6 +41,8 @@ Examples
     python -m repro faults --scenario control_plane_blackout --seed 42
     python -m repro faults --scenario region_cn_outage --json
     python -m repro perf --scale small --profile
+    python -m repro audit --scale small
+    python -m repro audit --scenario rolling_upgrade --strict
 """
 
 from __future__ import annotations
@@ -105,6 +113,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run under cProfile and print the hottest functions")
     perf.add_argument("--profile-limit", type=int, default=20, metavar="N",
                       help="functions to show with --profile (default: 20)")
+
+    audit = sub.add_parser(
+        "audit", help="run with the invariant sanitizer on and print the report"
+    )
+    _add_scale(audit)
+    audit.add_argument("--scenario", default=None, metavar="FAULT",
+                       help="audit a fault drill instead of the standard "
+                            "scenario (any name from 'repro faults --list')")
+    audit.add_argument("--at", type=float, default=600.0,
+                       help="with --scenario: fault start, seconds (default: 600)")
+    audit.add_argument("--duration", type=float, default=3600.0,
+                       help="with --scenario: fault hold, seconds (default: 3600)")
+    audit.add_argument("--strict", action="store_true",
+                       help="raise on the first error-severity violation "
+                            "(exit code 1) instead of recording it")
+    audit.add_argument("--every", type=int, default=None, metavar="N",
+                       help="sampled-audit cadence in simulator events "
+                            "(default: InvariantConfig.every_events)")
+    audit.add_argument("--json", action="store_true", dest="json_report",
+                       help="emit the audit summary as JSON")
 
     return parser
 
@@ -177,6 +205,60 @@ def _run_perf(scale: str, seed: int, *, profile: bool, profile_limit: int) -> in
     return 0
 
 
+def _run_audit(args) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.report import render_audit
+    from repro.core.config import InvariantConfig
+    from repro.invariants import InvariantViolationError
+
+    overrides: dict[str, object] = {
+        "mode": "strict" if args.strict else "observe",
+    }
+    if args.every is not None:
+        overrides["every_events"] = args.every
+    invariants = InvariantConfig(**overrides)
+
+    try:
+        if args.scenario is not None:
+            from repro.faults import SCENARIOS, run_drill, scenario_names
+
+            if args.scenario not in SCENARIOS:
+                print(f"unknown scenario: {args.scenario}", file=sys.stderr)
+                print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
+                return 2
+            report = run_drill(args.scenario, args.seed,
+                               fault_at=args.at, fault_duration=args.duration,
+                               invariants=invariants)
+            audit = report.invariants
+            title = (f"invariant audit  (scenario={args.scenario}, "
+                     f"seed={args.seed})")
+        else:
+            from repro.experiments.common import standard_config
+            from repro.workload import run_scenario
+
+            config = standard_config(args.scale, args.seed)
+            config = replace(config,
+                             system=config.system.with_invariants(**overrides))
+            result = run_scenario(config)
+            auditor = result.system.auditor
+            audit = {
+                **auditor.stats().as_dict(),
+                "violations": [v.as_dict() for v in auditor.report()],
+            }
+            title = (f"invariant audit  (scale={args.scale}, "
+                     f"seed={args.seed})")
+    except InvariantViolationError as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json_report:
+        print(json.dumps(audit, indent=2, sort_keys=True))
+    else:
+        print(render_audit(title, audit))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -200,6 +282,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "perf":
         return _run_perf(args.scale, args.seed,
                          profile=args.profile, profile_limit=args.profile_limit)
+
+    if args.command == "audit":
+        return _run_audit(args)
 
     if args.command == "trace":
         from repro.analysis.export import export_trace

@@ -134,3 +134,54 @@ class AccountingService:
         if total == 0:
             return 0.0
         return len(self.rejected) / total
+
+    def ledger_drift(self) -> list[str]:
+        """Internal-consistency check: billing must equal the accepted log.
+
+        Re-aggregates the accepted reports from scratch and compares the
+        result with the incrementally maintained :attr:`billing` summaries
+        and :attr:`upload_credit` ledger.  Any discrepancy means the
+        incremental bookkeeping diverged from the source of truth — a bug,
+        never legitimate drift.  Returns human-readable descriptions (empty
+        when consistent); the invariant auditor runs this at end-of-run.
+        """
+        drift: list[str] = []
+        edge_by_cp: dict[int, int] = defaultdict(int)
+        peer_by_cp: dict[int, int] = defaultdict(int)
+        outcomes_by_cp: dict[int, int] = defaultdict(int)
+        credit: dict[str, int] = defaultdict(int)
+        for report in self.accepted:
+            edge_by_cp[report.cp_code] += report.claimed_edge_bytes
+            peer_by_cp[report.cp_code] += report.claimed_peer_bytes
+            outcomes_by_cp[report.cp_code] += 1
+            for uploader, nbytes in report.per_uploader_bytes.items():
+                credit[uploader] += nbytes
+
+        for cp_code, summary in sorted(self.billing.items()):
+            n_outcomes = (summary.completed_downloads + summary.failed_downloads
+                          + summary.aborted_downloads)
+            if summary.edge_bytes != edge_by_cp.get(cp_code, 0):
+                drift.append(
+                    f"cp {cp_code}: billed edge_bytes {summary.edge_bytes} != "
+                    f"accepted-report sum {edge_by_cp.get(cp_code, 0)}"
+                )
+            if summary.peer_bytes != peer_by_cp.get(cp_code, 0):
+                drift.append(
+                    f"cp {cp_code}: billed peer_bytes {summary.peer_bytes} != "
+                    f"accepted-report sum {peer_by_cp.get(cp_code, 0)}"
+                )
+            if n_outcomes != outcomes_by_cp.get(cp_code, 0):
+                drift.append(
+                    f"cp {cp_code}: billed outcome count {n_outcomes} != "
+                    f"accepted-report count {outcomes_by_cp.get(cp_code, 0)}"
+                )
+        for cp_code in edge_by_cp:
+            if cp_code not in self.billing:
+                drift.append(f"cp {cp_code}: accepted reports but no billing summary")
+        for uploader in set(credit) | set(self.upload_credit):
+            if self.upload_credit.get(uploader, 0) != credit.get(uploader, 0):
+                drift.append(
+                    f"uploader {uploader}: credit {self.upload_credit.get(uploader, 0)}"
+                    f" != accepted-report sum {credit.get(uploader, 0)}"
+                )
+        return drift

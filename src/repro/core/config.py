@@ -16,10 +16,12 @@ behaviours the paper calls out:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 __all__ = [
-    "ClientConfig", "ControlChannelConfig", "ControlPlaneConfig", "SystemConfig",
+    "ClientConfig", "ControlChannelConfig", "ControlPlaneConfig",
+    "InvariantConfig", "SystemConfig",
 ]
 
 
@@ -200,12 +202,64 @@ class ControlChannelConfig:
 
 
 @dataclass(frozen=True)
+class InvariantConfig:
+    """Runtime invariant-audit behaviour (the sanitizer layer).
+
+    The system registers an :class:`~repro.invariants.auditor.InvariantAuditor`
+    with the simulator, which runs the cheap checkers every ``every_events``
+    processed events and the full set (including final-only reconciliation
+    checkers) at end-of-run.  Like a sanitizer, the layer has three modes:
+
+    * ``off``     — never check (the auditor is not even installed);
+    * ``observe`` — check, record structured violations, never raise;
+    * ``strict``  — raise :class:`~repro.invariants.violation.InvariantViolationError`
+      on the first *error*-severity violation (warnings are still only
+      recorded — they describe legitimate soft-state drift windows).
+
+    The default mode ``auto`` resolves through the ``REPRO_INVARIANTS``
+    environment variable (``off``/``observe``/``strict``) and falls back to
+    ``observe`` — the layer is cheap enough to leave on.
+    """
+
+    #: ``auto`` (env-resolved), ``off``, ``observe``, or ``strict``.
+    mode: str = "auto"
+    #: Run the sampled checkers every this many simulator events (the
+    #: end-of-run audit always runs).  Must be positive.
+    every_events: int = 20_000
+    #: Cap on *distinct* recorded violations (deduplicated by invariant,
+    #: severity, and subject); further distinct ones are dropped and counted.
+    max_violations: int = 200
+    #: Restrict the audit to these checker names; empty = all registered.
+    checkers: tuple[str, ...] = ()
+
+    _MODES = ("auto", "off", "observe", "strict")
+
+    def __post_init__(self):
+        if self.mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {self.mode!r}")
+        if self.every_events <= 0:
+            raise ValueError("every_events must be positive")
+        if self.max_violations <= 0:
+            raise ValueError("max_violations must be positive")
+
+    def resolve_mode(self) -> str:
+        """The effective mode: ``auto`` resolved via ``REPRO_INVARIANTS``."""
+        if self.mode != "auto":
+            return self.mode
+        env = os.environ.get("REPRO_INVARIANTS", "").strip().lower()
+        if env in ("off", "observe", "strict"):
+            return env
+        return "observe"
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level assembly of all configuration."""
 
     client: ClientConfig = field(default_factory=ClientConfig)
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
     channel: ControlChannelConfig = field(default_factory=ControlChannelConfig)
+    invariants: InvariantConfig = field(default_factory=InvariantConfig)
     #: Control-plane and edge deployment density, per network region.  The
     #: real deployment ran 197 control-plane servers over <20 network
     #: regions; one CN/DN pair per region is the scale-appropriate default.
@@ -237,3 +291,7 @@ class SystemConfig:
     def with_channel(self, **changes) -> "SystemConfig":
         """Return a copy with control-channel fields replaced."""
         return replace(self, channel=replace(self.channel, **changes))
+
+    def with_invariants(self, **changes) -> "SystemConfig":
+        """Return a copy with invariant-audit fields replaced."""
+        return replace(self, invariants=replace(self.invariants, **changes))

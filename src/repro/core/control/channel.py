@@ -48,13 +48,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.peer import PeerNode
 
 __all__ = ["ControlChannel", "ControlChannelStats",
-           "HEALTHY", "RETRYING", "DEGRADED", "PROBING"]
+           "HEALTHY", "RETRYING", "DEGRADED", "PROBING", "ALL_STATES"]
 
 #: Channel states (the §3.8 client-side state machine).
 HEALTHY = "healthy"
 RETRYING = "retrying"
 DEGRADED = "degraded"
 PROBING = "probing"
+
+#: Every legal state.  PROBING is transient *within* a probe callback and is
+#: never observable at event boundaries; the invariant auditor checks that.
+ALL_STATES = frozenset((HEALTHY, RETRYING, DEGRADED, PROBING))
 
 
 @dataclass

@@ -775,6 +775,22 @@ class DownloadSession:
             return 0.0
         return self.peer_bytes / total
 
+    def received_bytes(self) -> int:
+        """Exact byte size of the verified pieces held so far.
+
+        O(1): every piece is PIECE_SIZE except possibly the last, so a set
+        of piece indexes determines the byte count without iterating it.
+        The invariant auditor reconciles this against the per-source
+        counters (``edge_bytes + peer_bytes``) on every sampled audit.
+        """
+        n = len(self.received)
+        if n == 0:
+            return 0
+        nbytes = n * PIECE_SIZE
+        if (self.obj.num_pieces - 1) in self.received:
+            nbytes += self.obj.last_piece_size - PIECE_SIZE
+        return nbytes
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<DownloadSession {self.obj.url} peer={self.peer.guid[:8]} "

@@ -37,6 +37,7 @@ from repro.core.control.plane import ControlPlane
 from repro.core.edge import EdgeNetwork
 from repro.core.peer import PeerNode
 from repro.core.swarm import DownloadSession
+from repro.invariants import InvariantAuditor, InvariantStats, InvariantViolation
 from repro.net.addressing import IPAllocator
 from repro.net.flows import FlowNetwork, FlowNetworkStats
 from repro.net.geo import Country, GeoDatabase, World, build_core_world
@@ -76,6 +77,8 @@ class SystemStats:
     flows: FlowNetworkStats
     #: Control-channel robustness counters (see :class:`ControlChannelStats`).
     channel: ControlChannelStats
+    #: Invariant-audit counters (see :class:`InvariantStats`).
+    invariants: InvariantStats
 
     def as_dict(self) -> dict[str, float]:
         """Flat key/value view for tables and JSON (flow_*/ctrl_* prefixed)."""
@@ -95,6 +98,8 @@ class SystemStats:
             out[f"flow_{key}"] = value
         for key, value in self.channel.as_dict().items():
             out[f"ctrl_{key}"] = value
+        for key, value in self.invariants.as_dict().items():
+            out[f"inv_{key}"] = value
         return out
 
 
@@ -147,6 +152,11 @@ class NetSessionSystem:
         self.all_peers: list[PeerNode] = []
         self.peer_by_guid: dict[str, PeerNode] = {}
         self.providers: dict[int, ContentProvider] = {}
+
+        #: The sanitizer layer (see :mod:`repro.invariants`).  Constructed
+        #: last so its checkers can observe every subsystem above.
+        self.auditor = InvariantAuditor(self, self.config.invariants)
+        self.auditor.install()
 
     # ----------------------------------------------------------------- content
 
@@ -234,6 +244,18 @@ class NetSessionSystem:
                     count += 1
         return count
 
+    def audit(self, *, final: bool = True) -> list[InvariantViolation]:
+        """Run the invariant checkers now and return the violation report.
+
+        ``final=True`` (the default) includes the end-of-run reconciliation
+        checkers; scenario and drill runners call this after the trace ends.
+        Settles any pending flow mutations first so the feasibility checker
+        sees a consistent allocation.  In strict mode an error-severity
+        violation raises :class:`~repro.invariants.InvariantViolationError`.
+        """
+        self.flows.flush()
+        return self.auditor.audit(final=final)
+
     # ------------------------------------------------------------- inspection
 
     def online_peer_count(self) -> int:
@@ -255,6 +277,7 @@ class NetSessionSystem:
             flows_aborted=self.flows.aborted_count,
             flows=self.flows.stats.snapshot(),
             channel=self.channel_stats.snapshot(),
+            invariants=self.auditor.stats(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

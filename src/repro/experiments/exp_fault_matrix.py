@@ -145,4 +145,26 @@ def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
          "reconnect", "re-add conv."],
         recovery_rows,
     )
+
+    # Every matrix cell ran with the invariant sanitizer (observe or strict
+    # per REPRO_INVARIANTS); surface the audit so a conservation regression
+    # shows up next to the §5.2 numbers it would otherwise silently skew.
+    audit_rows = []
+    total_errors = 0
+    for name in ("baseline", *MATRIX_SCENARIOS):
+        result, _ = cells[name]
+        auditor = result.system.auditor
+        inv = auditor.stats()
+        total_errors += inv.errors
+        audit_rows.append([
+            name, inv.mode, inv.audits + inv.final_audits,
+            inv.errors, inv.warnings,
+        ])
+        metrics[f"{name}_invariant_errors"] = float(inv.errors)
+    metrics["invariant_errors_total"] = float(total_errors)
+    text += "\n\n" + render_table(
+        "invariant audit (repro.invariants)",
+        ["scenario", "mode", "audits", "errors", "warnings"],
+        audit_rows,
+    )
     return ExperimentOutput(name="fault_matrix", text=text, metrics=metrics)

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.report import pct, render_table
+from repro.analysis.report import pct, render_audit, render_table
+from repro.core.config import InvariantConfig, SystemConfig
 from repro.core.content import ContentObject, ContentProvider
 from repro.core.peer import CacheEntry, PeerNode
 from repro.core.swarm import DownloadSession
@@ -48,6 +49,9 @@ class DrillReport:
     #: End-of-run control-channel robustness counters (retries, timeouts,
     #: breaker trips, degraded-seconds, time-to-recover, promotions).
     channel: dict[str, float] = field(default_factory=dict)
+    #: End-of-run invariant-audit summary: counters plus any recorded
+    #: violations (structured, deduplicated; see :mod:`repro.invariants`).
+    invariants: dict = field(default_factory=dict)
     text: str = ""
 
     def wave_stats(self, wave: str) -> dict[str, float]:
@@ -89,6 +93,7 @@ class DrillReport:
                 for rec in self.recoveries
             ],
             "channel": self.channel,
+            "invariants": self.invariants,
         }
 
 
@@ -147,6 +152,9 @@ def _render(report: DrillReport) -> str:
             ["counter", "value"],
             [[key, value] for key, value in report.channel.items()],
         ))
+    if report.invariants:
+        lines.append("")
+        lines.append(render_audit("invariant audit", report.invariants))
     return "\n".join(lines)
 
 
@@ -159,14 +167,23 @@ def run_drill(
     fault_at: float = 600.0,
     fault_duration: float = 3600.0,
     horizon: float = 12 * 3600.0,
+    invariants: InvariantConfig | None = None,
 ) -> DrillReport:
     """Run one scenario against a compact system and report the outcome.
 
     Three waves of ``wave_size`` downloads each start before the fault
     (in flight when it hits), inside the fault window (these see the
     degraded system from their first byte), and after recovery begins.
+
+    ``invariants`` overrides the audit layer's configuration — the strict
+    fault-matrix tests pass ``InvariantConfig(mode="strict")`` so a drill
+    doubles as a conservation-law regression; the default inherits the
+    usual env-resolved observe mode.  The end-of-run audit summary (and
+    any recorded violations) lands in ``DrillReport.invariants``.
     """
-    system = NetSessionSystem(seed=seed)
+    config = SystemConfig() if invariants is None \
+        else SystemConfig(invariants=invariants)
+    system = NetSessionSystem(config, seed=seed)
     provider = ContentProvider(cp_code=9001, name="DrillCo")
     obj = ContentObject("drillco/drill.bin", 300 * MB, provider, p2p_enabled=True)
     system.publish(obj)
@@ -206,6 +223,7 @@ def run_drill(
 
     system.run(until=horizon)
     system.finalize_open_downloads()
+    violations = system.audit(final=True)
 
     report = DrillReport(
         scenario=scenario,
@@ -215,6 +233,10 @@ def run_drill(
                     if s.name in injector.recoveries],
         sessions=sessions,
         channel=system.channel_stats.as_dict(),
+        invariants={
+            **system.auditor.stats().as_dict(),
+            "violations": [v.as_dict() for v in violations],
+        },
     )
     report.text = _render(report)
     return report

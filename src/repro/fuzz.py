@@ -1,0 +1,312 @@
+"""Seeded scenario fuzzing with strict invariants and greedy shrinking.
+
+The fuzzer is the offensive half of the :mod:`repro.invariants` sanitizer:
+it generates randomized workload/fault/configuration combinations the
+hand-written tests would never think to try, runs each one with strict
+invariants, and — when a run violates a conservation law — *shrinks* the
+specification to a minimal still-failing reproducer and emits a standalone
+Python script that replays it.
+
+Everything is keyed by an integer seed: :func:`generate` draws a
+:class:`FuzzSpec` from a string-seeded RNG, and :func:`run_spec` builds the
+system deterministically from the spec alone, so a failure found in CI
+replays exactly from its seed (or its shrunk spec) on any machine.
+
+Used by ``tests/fuzz/`` (see TESTING.md); the slow sweep is marked
+``fuzz`` and runs in its own CI job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Optional
+
+from repro.core.config import (
+    ControlChannelConfig, InvariantConfig, SystemConfig,
+)
+from repro.core.content import ContentObject, ContentProvider
+from repro.core.peer import CacheEntry
+from repro.core.system import NetSessionSystem
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import build_scenario, scenario_names
+from repro.invariants import InvariantViolationError
+
+__all__ = ["FuzzSpec", "FuzzResult", "generate", "run_spec", "shrink",
+           "reproducer_script"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """One randomized scenario, fully determined by its fields.
+
+    Frozen so shrinking can produce simplified copies with
+    :func:`dataclasses.replace` while the original stays intact.
+    """
+
+    seed: int
+    n_seeders: int = 8
+    n_downloaders: int = 8
+    object_mb: int = 96
+    n_objects: int = 2
+    #: Fraction of objects published with p2p enabled.
+    p2p_fraction: float = 1.0
+    duration_hours: float = 6.0
+    #: Scenario name from the fault library, or None for a fault-free run.
+    fault_scenario: Optional[str] = None
+    fault_at: float = 600.0
+    fault_duration: float = 1800.0
+    #: Control-channel impairment baked into the config (on top of any
+    #: fault-injected impairment).
+    channel_latency: float = 0.0
+    channel_loss: float = 0.0
+    flow_batching: bool = True
+    #: Edge egress cap in Mbit/s, or None for overprovisioned.
+    edge_egress_mbps: Optional[float] = None
+    #: Mid-run peer churn: this many (offline, online) round trips.
+    churn_events: int = 0
+    #: Mid-run session pause/resume round trips.
+    pause_resume_events: int = 0
+    #: Sampled-audit cadence; fuzz runs are small, so audit often.
+    every_events: int = 500
+
+    def label(self) -> str:
+        """Compact identifier for logs and test ids."""
+        fault = self.fault_scenario or "none"
+        return (f"seed={self.seed} peers={self.n_seeders}+{self.n_downloaders} "
+                f"obj={self.n_objects}x{self.object_mb}MB fault={fault} "
+                f"loss={self.channel_loss:.2f} batching={self.flow_batching}")
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one strict-invariant fuzz run."""
+
+    spec: FuzzSpec
+    #: None when the run was clean; the strict-mode exception otherwise.
+    failure: Optional[InvariantViolationError]
+    completed_downloads: int = 0
+    warnings: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def generate(seed: int) -> FuzzSpec:
+    """Draw one randomized spec from a string-seeded RNG.
+
+    The RNG stream is independent of every system RNG (string-seeded like
+    the control channel's), so spec generation never perturbs a run.
+    """
+    rng = random.Random(f"repro-fuzz:{seed}")
+    fault = None
+    if rng.random() < 0.7:
+        fault = rng.choice(scenario_names())
+    duration_hours = rng.uniform(2.0, 10.0)
+    fault_at = rng.uniform(300.0, 0.4 * duration_hours * 3600.0)
+    return FuzzSpec(
+        seed=seed,
+        n_seeders=rng.randint(2, 14),
+        n_downloaders=rng.randint(2, 14),
+        object_mb=rng.choice((16, 48, 96, 160, 300)),
+        n_objects=rng.randint(1, 3),
+        p2p_fraction=rng.choice((1.0, 1.0, 0.5)),
+        duration_hours=duration_hours,
+        fault_scenario=fault,
+        fault_at=fault_at,
+        fault_duration=rng.uniform(600.0, 3600.0),
+        channel_latency=rng.choice((0.0, 0.0, 0.05, 0.25)),
+        channel_loss=rng.choice((0.0, 0.0, 0.02, 0.10)),
+        flow_batching=rng.random() < 0.8,
+        edge_egress_mbps=rng.choice((None, None, 500.0, 2000.0)),
+        churn_events=rng.randint(0, 6),
+        pause_resume_events=rng.randint(0, 6),
+    )
+
+
+def _build_config(spec: FuzzSpec) -> SystemConfig:
+    return SystemConfig(
+        channel=ControlChannelConfig(
+            latency=spec.channel_latency,
+            loss_prob=spec.channel_loss,
+        ),
+        invariants=InvariantConfig(
+            mode="strict", every_events=spec.every_events
+        ),
+        flow_batching=spec.flow_batching,
+        edge_egress_mbps=spec.edge_egress_mbps,
+    )
+
+
+def run_spec(spec: FuzzSpec) -> FuzzResult:
+    """Build and run one spec under strict invariants.
+
+    Returns a clean :class:`FuzzResult` or one carrying the
+    :class:`InvariantViolationError` that strict mode raised.  Never lets
+    the violation propagate — the sweep wants to keep fuzzing.
+    """
+    try:
+        system = NetSessionSystem(_build_config(spec), seed=spec.seed)
+        rng = random.Random(f"repro-fuzz-run:{spec.seed}")
+        provider = ContentProvider(cp_code=7001, name="FuzzCo")
+        objects = []
+        for i in range(spec.n_objects):
+            objects.append(ContentObject(
+                f"fuzzco/blob-{i}.bin", spec.object_mb * MB, provider,
+                p2p_enabled=(i < spec.p2p_fraction * spec.n_objects or i == 0),
+            ))
+            system.publish(objects[-1])
+
+        country = system.world.by_code["DE"]
+        for _ in range(spec.n_seeders):
+            seeder = system.create_peer(country=country, uploads_enabled=True)
+            for obj in objects:
+                seeder.cache[obj.cid] = CacheEntry(obj.cid, completed_at=0.0)
+            seeder.boot()
+
+        downloaders = []
+        horizon = spec.duration_hours * 3600.0
+        for i in range(spec.n_downloaders):
+            peer = system.create_peer(country=country, uploads_enabled=True)
+            peer.boot()
+            downloaders.append(peer)
+            obj = objects[i % len(objects)]
+            system.sim.schedule_at(
+                rng.uniform(60.0, 0.5 * horizon),
+                lambda p=peer, o=obj: p.online and p.start_download(o),
+            )
+
+        if spec.fault_scenario is not None:
+            specs = build_scenario(
+                spec.fault_scenario,
+                at=min(spec.fault_at, 0.6 * horizon),
+                duration=spec.fault_duration,
+            )
+            FaultInjector(system, specs, seed=spec.seed ^ 0xFA17).arm()
+
+        for i in range(spec.churn_events):
+            victim = downloaders[i % len(downloaders)]
+            down_at = rng.uniform(0.2, 0.7) * horizon
+            system.sim.schedule_at(
+                down_at, lambda p=victim: p.online and p.go_offline())
+            system.sim.schedule_at(
+                down_at + rng.uniform(120.0, 1800.0),
+                lambda p=victim: not p.online and p.boot())
+
+        def pause_resume(peer) -> None:
+            for session in list(peer.sessions.values()):
+                if session.state == "active":
+                    session.pause()
+                elif session.state == "paused":
+                    session.resume()
+
+        for i in range(spec.pause_resume_events):
+            victim = downloaders[(i * 3 + 1) % len(downloaders)]
+            system.sim.schedule_at(
+                rng.uniform(0.2, 0.8) * horizon,
+                lambda p=victim: p.online and pause_resume(p))
+
+        system.run(until=horizon)
+        system.finalize_open_downloads()
+        system.audit(final=True)
+    except InvariantViolationError as exc:
+        return FuzzResult(spec=spec, failure=exc)
+
+    completed = sum(
+        1 for r in system.logstore.downloads if r.outcome == "completed"
+    )
+    return FuzzResult(
+        spec=spec, failure=None, completed_downloads=completed,
+        warnings=system.auditor.warning_count(),
+    )
+
+
+# ---------------------------------------------------------------- shrinking
+
+def _candidates(spec: FuzzSpec) -> list[FuzzSpec]:
+    """Simplified variants of ``spec``, most aggressive first."""
+    out: list[FuzzSpec] = []
+    if spec.fault_scenario is not None:
+        out.append(replace(spec, fault_scenario=None))
+    if spec.churn_events:
+        out.append(replace(spec, churn_events=0))
+    if spec.pause_resume_events:
+        out.append(replace(spec, pause_resume_events=0))
+    if spec.channel_loss or spec.channel_latency:
+        out.append(replace(spec, channel_loss=0.0, channel_latency=0.0))
+    if not spec.flow_batching:
+        out.append(replace(spec, flow_batching=True))
+    if spec.edge_egress_mbps is not None:
+        out.append(replace(spec, edge_egress_mbps=None))
+    if spec.n_objects > 1:
+        out.append(replace(spec, n_objects=1))
+    if spec.n_downloaders > 2:
+        out.append(replace(spec, n_downloaders=max(2, spec.n_downloaders // 2)))
+    if spec.n_seeders > 2:
+        out.append(replace(spec, n_seeders=max(2, spec.n_seeders // 2)))
+    if spec.object_mb > 16:
+        out.append(replace(spec, object_mb=max(16, spec.object_mb // 2)))
+    if spec.duration_hours > 2.0:
+        out.append(replace(spec, duration_hours=max(2.0, spec.duration_hours / 2)))
+    return out
+
+
+def shrink(
+    spec: FuzzSpec,
+    *,
+    still_fails: Optional[Callable[[FuzzSpec], bool]] = None,
+    max_attempts: int = 40,
+) -> FuzzSpec:
+    """Greedily simplify a failing spec while it keeps failing.
+
+    Each round tries the candidate simplifications in order and restarts
+    from the first one that still reproduces a strict-mode violation; the
+    loop ends when no candidate fails or the attempt budget runs out.
+    ``still_fails`` is injectable for tests (defaults to re-running the
+    spec via :func:`run_spec`).
+    """
+    if still_fails is None:
+        still_fails = lambda s: not run_spec(s).ok  # noqa: E731
+    attempts = 0
+    current = spec
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current):
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current
+
+
+def reproducer_script(spec: FuzzSpec) -> str:
+    """A standalone script that replays ``spec`` with strict invariants.
+
+    Shown (and writable to disk) when a fuzz test fails, so the minimal
+    scenario can be rerun under a debugger without the fuzz machinery.
+    """
+    fields = ",\n    ".join(
+        f"{name}={value!r}" for name, value in asdict(spec).items()
+    )
+    return f'''\
+"""Minimal reproducer for a strict-invariant violation found by the fuzzer.
+
+Run with:  PYTHONPATH=src python reproduce_fuzz_{spec.seed}.py
+"""
+from repro.fuzz import FuzzSpec, run_spec
+
+spec = FuzzSpec(
+    {fields},
+)
+result = run_spec(spec)
+if result.failure is not None:
+    raise SystemExit(f"still failing: {{result.failure}}")
+print("no violation — the underlying bug is fixed")
+'''

@@ -352,6 +352,18 @@ class FlowNetwork:
         self.flush()
         return {f.flow_id: f.rate for f in self.active_flows}
 
+    def resources_in_use(self) -> set[Resource]:
+        """Every resource referenced by at least one active flow.
+
+        Does **not** flush: the invariant auditor calls this at event
+        boundaries where the post-event hook has already settled rates, and
+        a flush here would perturb the settlement counters it audits.
+        """
+        resources: set[Resource] = set()
+        for flow in self.active_flows:
+            resources.update(flow.resources)
+        return resources
+
     @contextmanager
     def batch(self) -> Iterator[None]:
         """Coalesce a block of mutations into one settlement pass.

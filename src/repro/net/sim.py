@@ -87,6 +87,9 @@ class Simulator:
         self._in_event = False
         self._live = 0  # pending (not-fired, not-cancelled) queued events
         self._post_event_hooks: list[Callable[[], None]] = []
+        self._audit_hook: Optional[Callable[[], None]] = None
+        self._audit_every = 0
+        self._audit_countdown = 0
         self.events_processed = 0
         self.heap_pushes = 0
         self.stale_pops = 0
@@ -109,6 +112,31 @@ class Simulator:
         settle each event's batched rate mutations at the event boundary.
         """
         self._post_event_hooks.append(hook)
+
+    def set_audit_hook(self, hook: Callable[[], None], *, every_events: int) -> None:
+        """Register ``hook`` to run every ``every_events`` processed events.
+
+        Unlike a recurring timer, the audit hook lives outside the event
+        queue: it consumes no heap slots, draws no randomness, and runs
+        *after* the post-event hooks, so the flow network has already
+        settled the event's batched rate mutations when it fires.  That
+        keeps fixed-seed runs byte-identical whether auditing is on or off.
+        Exceptions raised by the hook propagate out of :meth:`run` (strict
+        invariant mode relies on this).
+        """
+        if every_events <= 0:
+            raise SimulationError(
+                f"audit cadence must be positive, got {every_events}"
+            )
+        self._audit_hook = hook
+        self._audit_every = every_events
+        self._audit_countdown = every_events
+
+    def clear_audit_hook(self) -> None:
+        """Remove the audit hook installed by :meth:`set_audit_hook`."""
+        self._audit_hook = None
+        self._audit_every = 0
+        self._audit_countdown = 0
 
     def _push(self, time: float, event: Event) -> None:
         heapq.heappush(self._queue, (time, next(self._seq), event))
@@ -212,6 +240,11 @@ class Simulator:
                     hook()
                 processed += 1
                 self.events_processed += 1
+                if self._audit_every:
+                    self._audit_countdown -= 1
+                    if self._audit_countdown <= 0:
+                        self._audit_countdown = self._audit_every
+                        self._audit_hook()
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:

@@ -227,6 +227,9 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
 
     system.run(until=cfg.duration_days * DAY)
     finalized = system.finalize_open_downloads()
+    # End-of-run audit: the reconciliation checkers need the finalized logs.
+    # Observe mode records; strict mode raises on the first error here.
+    system.audit(final=True)
 
     return ScenarioResult(
         config=cfg,

@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro.core import ContentObject, ContentProvider, NetSessionSystem, SystemConfig
 from repro.core.peer import CacheEntry
+
+try:  # hypothesis is a dev-only dependency; fixtures must import without it
+    from hypothesis import settings as _hyp_settings
+
+    # ``dev`` keeps the library defaults (random exploration, local DB);
+    # ``ci`` is fully reproducible: derandomized example generation and no
+    # wall-clock deadline, so a loaded CI worker can't flake a property.
+    _hyp_settings.register_profile("dev")
+    _hyp_settings.register_profile("ci", derandomize=True, deadline=None)
+    _hyp_settings.load_profile("ci" if os.environ.get("CI") else "dev")
+except ImportError:  # pragma: no cover
+    pass
 
 
 @pytest.fixture

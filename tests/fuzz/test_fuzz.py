@@ -1,0 +1,121 @@
+"""Tests for the strict-invariant scenario fuzzer.
+
+The fast tier checks the machinery (determinism, shrinking, reproducer
+round-trip) on a couple of seeds; the actual bug-hunting sweep is marked
+``fuzz`` and runs in its own CI job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz import (
+    FuzzSpec, generate, reproducer_script, run_spec, shrink,
+)
+
+SMOKE_SEEDS = (0, 1, 2)
+
+
+class TestGenerate:
+    def test_same_seed_same_spec(self):
+        assert generate(7) == generate(7)
+
+    def test_different_seeds_differ(self):
+        specs = {generate(s) for s in range(20)}
+        assert len(specs) == 20
+
+    def test_specs_within_bounds(self):
+        for seed in range(50):
+            spec = generate(seed)
+            assert 2 <= spec.n_seeders <= 14
+            assert 2 <= spec.n_downloaders <= 14
+            assert 1 <= spec.n_objects <= 3
+            assert 2.0 <= spec.duration_hours <= 10.0
+            assert spec.fault_at < 0.4 * spec.duration_hours * 3600.0
+
+    def test_label_mentions_the_seed(self):
+        assert "seed=9" in generate(9).label()
+
+
+class TestRunSpec:
+    @pytest.mark.parametrize("seed", SMOKE_SEEDS)
+    def test_smoke_seeds_run_clean(self, seed):
+        result = run_spec(generate(seed))
+        assert result.ok, f"{result.spec.label()}: {result.failure}"
+        assert result.completed_downloads > 0
+
+    def test_same_seed_same_outcome(self):
+        spec = generate(1)
+        a, b = run_spec(spec), run_spec(spec)
+        assert a.completed_downloads == b.completed_downloads
+        assert a.warnings == b.warnings
+
+
+class TestShrink:
+    def test_shrinks_to_fixed_point(self):
+        # Synthetic oracle: "fails" whenever the fault scenario is present,
+        # so everything else should shrink away around it.
+        spec = generate(3)
+        spec = dataclasses.replace(spec, fault_scenario="cn_flap",
+                                   churn_events=4, pause_resume_events=4)
+        shrunk = shrink(
+            spec, still_fails=lambda s: s.fault_scenario is not None)
+        assert shrunk.fault_scenario == "cn_flap"
+        assert shrunk.churn_events == 0
+        assert shrunk.pause_resume_events == 0
+        assert shrunk.n_objects == 1
+        assert shrunk.n_downloaders == 2
+        assert shrunk.n_seeders == 2
+        assert shrunk.object_mb == 16
+        assert shrunk.duration_hours == 2.0
+
+    def test_unshrinkable_spec_returned_unchanged(self):
+        spec = FuzzSpec(seed=0, n_seeders=2, n_downloaders=2, object_mb=16,
+                        n_objects=1, duration_hours=2.0)
+        assert shrink(spec, still_fails=lambda s: True) == spec
+
+    def test_attempt_budget_respected(self):
+        calls = []
+
+        def oracle(s):
+            calls.append(s)
+            return True
+
+        shrink(generate(4), still_fails=oracle, max_attempts=5)
+        assert len(calls) <= 5
+
+
+class TestReproducer:
+    def test_script_round_trips_through_exec(self):
+        spec = generate(2)
+        script = reproducer_script(spec)
+        # The script re-raises on failure; a clean seed prints and returns.
+        namespace = {"__name__": "__repro_fuzz_check__"}
+        exec(compile(script, "<reproducer>", "exec"), namespace)
+        assert namespace["result"].ok
+
+    def test_script_embeds_every_field(self):
+        spec = generate(5)
+        script = reproducer_script(spec)
+        for name in ("seed", "fault_scenario", "channel_loss", "every_events"):
+            assert name in script
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(30))
+def test_fuzz_sweep(seed):
+    """The CI sweep: every seed must hold all invariants under strict mode.
+
+    On failure the assertion message carries a shrunk spec and a standalone
+    reproducer, so the finding is actionable straight from the CI log.
+    """
+    result = run_spec(generate(seed))
+    if not result.ok:
+        shrunk = shrink(result.spec)
+        pytest.fail(
+            f"invariant violation: {result.failure}\n"
+            f"spec: {result.spec.label()}\n"
+            f"shrunk: {shrunk!r}\n\n{reproducer_script(shrunk)}")
+    assert result.completed_downloads > 0

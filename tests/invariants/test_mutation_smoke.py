@@ -1,0 +1,129 @@
+"""Mutation smoke tests: a deliberately broken subsystem must be caught.
+
+The sanitizer's reason to exist is catching bugs we *haven't* written yet,
+so these tests write them on purpose: each one breaks a core component the
+way a bad refactor would (an over-allocating water-filler, a double-credit
+in session accounting, a breaker that forgets its bookkeeping) and asserts
+the audit layer flags the run.  If one of these passes silently, the
+invariant net has a hole in it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.net.flows as flows_mod
+from repro.core.config import InvariantConfig, SystemConfig
+from repro.core.content import ContentObject, ContentProvider
+from repro.core.peer import CacheEntry
+from repro.core.system import NetSessionSystem
+from repro.invariants import InvariantViolationError
+
+MB = 1024 * 1024
+
+
+def strict_system(seed=23):
+    # The tiny workload processes only a few dozen simulator events, so
+    # audit on (nearly) every event to sample the mid-download window.
+    config = SystemConfig(
+        invariants=InvariantConfig(mode="strict", every_events=5))
+    return NetSessionSystem(config, seed=seed)
+
+
+def start_workload(system, *, object_mb=256):
+    provider = ContentProvider(cp_code=9100, name="MutCo")
+    obj = ContentObject("mutco/blob.bin", object_mb * MB, provider,
+                        p2p_enabled=True)
+    system.publish(obj)
+    country = system.world.by_code["DE"]
+    seeder = system.create_peer(country=country, uploads_enabled=True)
+    seeder.cache[obj.cid] = CacheEntry(obj.cid, completed_at=0.0)
+    seeder.boot()
+    peer = system.create_peer(country=country, uploads_enabled=True)
+    peer.boot()
+    system.sim.schedule(60.0, lambda: peer.start_download(obj))
+    return peer, obj
+
+
+class TestBrokenFlowAllocator:
+    def test_overdriving_allocator_is_caught(self, monkeypatch):
+        """The headline mutation: a water-filler handing out 3x the fair
+        rate violates capacity feasibility within one audit interval."""
+        real = flows_mod._max_min_fair
+
+        def broken(flows, stats=None):
+            return {f: rate * 3.0 for f, rate in real(flows, stats).items()}
+
+        monkeypatch.setattr(flows_mod, "_max_min_fair", broken)
+        system = strict_system()
+        start_workload(system)
+        with pytest.raises(InvariantViolationError) as exc:
+            system.run(until=7200.0)
+            system.audit(final=True)
+        assert exc.value.violation.invariant == "flow-feasibility"
+
+    def test_observe_mode_records_the_same_defect(self, monkeypatch):
+        real = flows_mod._max_min_fair
+
+        def broken(flows, stats=None):
+            return {f: rate * 3.0 for f, rate in real(flows, stats).items()}
+
+        monkeypatch.setattr(flows_mod, "_max_min_fair", broken)
+        config = SystemConfig(
+            invariants=InvariantConfig(mode="observe", every_events=5))
+        system = NetSessionSystem(config, seed=23)
+        start_workload(system)
+        system.run(until=7200.0)
+        system.audit(final=True)
+        assert any(v.invariant == "flow-feasibility"
+                   for v in system.auditor.report())
+
+
+class TestBrokenSessionAccounting:
+    def test_double_credited_piece_is_caught(self):
+        """A session crediting bytes without holding the pieces (the shape
+        of a double-delivery bug) breaks byte conservation."""
+        system = strict_system()
+        peer, obj = start_workload(system)
+
+        def double_credit():
+            session = peer.sessions.get(obj.cid)
+            if session is not None and session.state == "active":
+                session.peer_bytes += 4 * MB  # credit with no piece behind it
+
+        system.sim.schedule(120.0, double_credit)  # mid-download
+        with pytest.raises(InvariantViolationError) as exc:
+            system.run(until=7200.0)
+            system.audit(final=True)
+        assert exc.value.violation.invariant == "byte-conservation"
+
+
+class TestBrokenBreaker:
+    def test_breaker_that_never_trips_is_caught(self):
+        """A channel accumulating failures past its threshold without
+        degrading means the breaker logic regressed."""
+        system = strict_system()
+        peer, _ = start_workload(system)
+
+        def wedge_failures():
+            ch = peer.channel
+            ch.consecutive_failures = ch.cfg.breaker_threshold + 2
+
+        system.sim.schedule(900.0, wedge_failures)
+        with pytest.raises(InvariantViolationError) as exc:
+            system.run(until=7200.0)
+            system.audit(final=True)
+        assert exc.value.violation.invariant == "channel-state"
+
+
+class TestBrokenEventLoop:
+    def test_leaked_live_counter_is_caught_at_final_audit(self):
+        """An event-loop refactor that loses track of cancellations shows
+        up in the end-of-run heap sweep."""
+        system = strict_system()
+        start_workload(system)
+        system.run(until=7200.0)
+        system.sim._live += 3
+        with pytest.raises(InvariantViolationError) as exc:
+            system.audit(final=True)
+        assert exc.value.violation.invariant == "sim-heap"

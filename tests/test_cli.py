@@ -102,3 +102,46 @@ class TestFaultsJSONFlag:
         assert data["channel"]["lost_messages"] > 0
         assert main(args) == 0
         assert capsys.readouterr().out == first  # byte-stable for CI diffs
+
+
+class TestAuditCommand:
+    def test_audit_drill_prints_report(self, capsys):
+        args = ["audit", "--scenario", "dn_wipe", "--seed", "7",
+                "--duration", "600"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "invariant audit" in out
+        assert "mode" in out
+
+    def test_audit_unknown_scenario_fails(self, capsys):
+        assert main(["audit", "--scenario", "meteor_strike"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_audit_strict_drill_exits_clean(self, capsys):
+        # The library scenarios are sanitizer-clean, so strict mode is a
+        # successful run, not an error exit.
+        args = ["audit", "--scenario", "cn_flap", "--seed", "7",
+                "--duration", "600", "--strict"]
+        assert main(args) == 0
+        assert "strict" in capsys.readouterr().out
+
+    def test_audit_json_is_machine_readable(self, capsys):
+        import json
+
+        args = ["audit", "--scenario", "dn_wipe", "--seed", "7",
+                "--duration", "600", "--json"]
+        assert main(args) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] == 0
+        assert "violations" in data
+
+    def test_audit_every_flag_tightens_cadence(self, capsys):
+        import json
+
+        base = ["audit", "--scenario", "dn_wipe", "--seed", "7",
+                "--duration", "600", "--json"]
+        assert main(base) == 0
+        sparse = json.loads(capsys.readouterr().out)
+        assert main(base + ["--every", "50"]) == 0
+        dense = json.loads(capsys.readouterr().out)
+        assert dense["audits"] > sparse["audits"]
