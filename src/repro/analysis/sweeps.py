@@ -18,11 +18,12 @@ from ``repro.analysis`` to keep the package import-cycle-free.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.analysis.benefits import offload_summary
+from repro.runner import Orchestrator
 from repro.workload import (
-    DemandConfig, PopulationConfig, ScenarioConfig, ScenarioResult, run_scenario,
+    DemandConfig, PopulationConfig, ScenarioConfig,
 )
 
 __all__ = ["SweepPoint", "SweepResult", "sweep",
@@ -58,7 +59,8 @@ class SweepResult:
         return all(b >= a - tolerance for a, b in zip(values, values[1:]))
 
 
-def _evaluate(result: ScenarioResult, knob: float) -> SweepPoint:
+def _evaluate(result, knob: float) -> SweepPoint:
+    """Measure one point; ``result`` is any object with a ``logstore``."""
     summary = offload_summary(result.logstore)
     downloads = result.logstore.downloads
     completed = sum(1 for r in downloads if r.outcome == "completed")
@@ -78,14 +80,24 @@ def sweep(
     *,
     base: ScenarioConfig | None = None,
     seed: int = 42,
+    jobs: int = 1,
+    runner: Optional[Orchestrator] = None,
 ) -> SweepResult:
-    """Run ``configure(base, v)`` for each knob value and measure offload."""
+    """Run ``configure(base, v)`` for each knob value and measure offload.
+
+    The points of a sweep are distinct scenarios, so they fan out across
+    the orchestrator's process pool (``jobs``); results are merged back in
+    knob order, so the returned series is identical for every job count.
+    Pass ``runner`` to share an existing orchestrator (and its caches)
+    across several sweeps.
+    """
     if base is None:
         base = _small_base(seed)
-    points = []
-    for value in values:
-        result = run_scenario(configure(base, value))
-        points.append(_evaluate(result, value))
+    if runner is None:
+        runner = Orchestrator(jobs=jobs)
+    artifacts = runner.run_many([configure(base, value) for value in values])
+    points = [_evaluate(artifact, value)
+              for artifact, value in zip(artifacts, values)]
     return SweepResult(knob_name=knob_name, points=tuple(points))
 
 
@@ -103,7 +115,8 @@ def _small_base(seed: int) -> ScenarioConfig:
 
 def sweep_population(
     sizes: list[float] | None = None, *, seed: int = 42,
-    base: ScenarioConfig | None = None,
+    base: ScenarioConfig | None = None, jobs: int = 1,
+    runner: Optional[Orchestrator] = None,
 ) -> SweepResult:
     """Peer efficiency vs installed-base size (the paper's growth story)."""
     sizes = sizes if sizes is not None else [200, 500, 1000]
@@ -112,12 +125,14 @@ def sweep_population(
         return replace(cfg, population=replace(cfg.population,
                                                n_peers=int(value)))
 
-    return sweep("n_peers", sizes, configure, seed=seed, base=base)
+    return sweep("n_peers", sizes, configure, seed=seed, base=base,
+                 jobs=jobs, runner=runner)
 
 
 def sweep_warm_copies(
     densities: list[float] | None = None, *, seed: int = 42,
-    base: ScenarioConfig | None = None,
+    base: ScenarioConfig | None = None, jobs: int = 1,
+    runner: Optional[Orchestrator] = None,
 ) -> SweepResult:
     """Peer efficiency vs content density (Figure 5's axis, set directly)."""
     densities = densities if densities is not None else [0.0, 1.0, 4.0]
@@ -126,12 +141,13 @@ def sweep_warm_copies(
         return replace(cfg, warm_copies_per_peer=value)
 
     return sweep("warm_copies_per_peer", densities, configure, seed=seed,
-                 base=base)
+                 base=base, jobs=jobs, runner=runner)
 
 
 def sweep_upload_enabled(
     rates: list[float] | None = None, *, seed: int = 42,
-    base: ScenarioConfig | None = None,
+    base: ScenarioConfig | None = None, jobs: int = 1,
+    runner: Optional[Orchestrator] = None,
 ) -> SweepResult:
     """Peer efficiency vs upload-enabled fraction (Table 4's lever).
 
@@ -144,4 +160,5 @@ def sweep_upload_enabled(
     def configure(cfg: ScenarioConfig, value: float) -> ScenarioConfig:
         return replace(cfg, upload_rate_override=value)
 
-    return sweep("upload_enabled_rate", rates, configure, seed=seed, base=base)
+    return sweep("upload_enabled_rate", rates, configure, seed=seed, base=base,
+                 jobs=jobs, runner=runner)

@@ -6,16 +6,24 @@ Commands
     Show the available experiments (one per paper table/figure).
 ``run <experiment ...>``
     Run one or more experiments and print their paper-style tables.
+    ``--jobs N`` fans the scenario runs out across a process pool (the
+    tables render serially afterwards, so output is byte-identical for
+    every job count); ``--cache-dir``/``--no-cache`` control the on-disk
+    result cache.
 ``study``
-    Run the whole measurement study (all experiments).
+    Run the whole measurement study (all experiments).  Takes the same
+    ``--jobs``/``--cache-dir``/``--no-cache`` flags as ``run``.
 ``trace``
     Generate a synthetic trace and export it, anonymized, as JSON lines —
     the shape of the data set the paper's authors worked from.
 ``faults``
     Run one fault-injection drill from the scenario library and print its
-    report; with ``--list``, show the available scenarios.  The report is
-    fully deterministic: the same ``--scenario``/``--seed`` pair prints
-    byte-identical output on every run.
+    report; with ``--list``, show the available scenarios; with ``--all``,
+    run the whole library (``--jobs N`` runs drills scenario-parallel,
+    reports print in library order regardless).  The report is fully
+    deterministic: the same ``--scenario``/``--seed`` pair prints
+    byte-identical output on every run — and the same bytes again from a
+    pool worker.
 ``perf``
     Run the standard scenario once and print the simulator/allocation
     counters (:class:`~repro.core.system.SystemStats`); with ``--profile``,
@@ -28,6 +36,10 @@ Commands
     recorded :class:`~repro.invariants.InvariantViolation`, deduplicated.
     Observe mode by default; ``--strict`` raises on the first error and
     exits non-zero, which is what CI wants.
+``cache <ls|clear|verify>``
+    Inspect the on-disk result cache: list entries with their scenario
+    labels and staleness, clear everything, or verify payload digests
+    (``verify`` exits 1 when corruption is found).
 
 Examples
 --------
@@ -36,13 +48,15 @@ Examples
     python -m repro list
     python -m repro run exp_offload exp_fig6 --scale small
     python -m repro run exp_table1 --perf
-    python -m repro study --scale standard
+    python -m repro study --scale standard --jobs 4
     python -m repro trace --out ./trace --scale small
     python -m repro faults --scenario control_plane_blackout --seed 42
-    python -m repro faults --scenario region_cn_outage --json
+    python -m repro faults --all --jobs 4
     python -m repro perf --scale small --profile
     python -m repro audit --scale small
     python -m repro audit --scenario rolling_upgrade --strict
+    python -m repro cache ls
+    python -m repro cache verify
 """
 
 from __future__ import annotations
@@ -50,6 +64,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
 import time
 
@@ -66,6 +81,39 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
 
 
+def _add_runner_opts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="process-pool width for scenario runs "
+                             "(default: all cores); output is byte-identical "
+                             "for every value")
+    _add_cache_dir(parser)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache entirely")
+
+
+def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk result cache location (default: "
+                             "$REPRO_CACHE_DIR or .repro-cache)")
+
+
+def _cache_root(args) -> str:
+    from repro.runner import DEFAULT_CACHE_DIR
+
+    return (args.cache_dir
+            or os.environ.get("REPRO_CACHE_DIR")
+            or DEFAULT_CACHE_DIR)
+
+
+def _resolve_cache(args):
+    """The ResultCache a run/study should use, or None with ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.runner import ResultCache
+
+    return ResultCache(_cache_root(args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -78,11 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run selected experiments")
     run.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
     _add_scale(run)
+    _add_runner_opts(run)
     run.add_argument("--perf", action="store_true",
                      help="print perf counters for each scenario after the tables")
 
     study = sub.add_parser("study", help="run the full measurement study")
     _add_scale(study)
+    _add_runner_opts(study)
     study.add_argument("--perf", action="store_true",
                        help="print perf counters for each scenario after the tables")
 
@@ -102,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault hold period, seconds (default: 3600)")
     faults.add_argument("--list", action="store_true", dest="list_scenarios",
                         help="list available scenarios and exit")
+    faults.add_argument("--all", action="store_true", dest="all_scenarios",
+                        help="drill every scenario in the library")
+    faults.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="with --all: run drills scenario-parallel "
+                             "(default: all cores); reports still print in "
+                             "library order")
     faults.add_argument("--json", action="store_true", dest="json_report",
                         help="emit the drill report as JSON (for CI artifacts)")
 
@@ -134,23 +190,52 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--json", action="store_true", dest="json_report",
                        help="emit the audit summary as JSON")
 
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument("action", choices=("ls", "clear", "verify"),
+                       help="ls: list entries; clear: delete everything; "
+                            "verify: check payload digests (exit 1 on "
+                            "corruption)")
+    _add_cache_dir(cache)
+
     return parser
 
 
-def _run_experiments(names: list[str], scale: str, seed: int,
-                     *, perf: bool = False) -> int:
+def _run_experiments(names: list[str], scale: str, seed: int, *,
+                     perf: bool = False, jobs: int | None = None,
+                     cache=None) -> int:
+    from repro.experiments import planned_configs
+    from repro.experiments.common import configure_runner, prefetch
+    from repro.runner import default_jobs
+
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
+
+    configure_runner(jobs=jobs if jobs is not None else default_jobs(),
+                     cache=cache)
+    # Fan the whole batch's scenario plan out across the pool up front; the
+    # experiments below then render from cache hits, serially and in order,
+    # so stdout is byte-identical for every --jobs value.
+    plan = []
+    for name in names:
+        effective = "mobility" if name in MOBILITY_EXPERIMENTS else scale
+        plan.extend(planned_configs(name, effective, seed))
+    prefetch(plan)
+
     for name in names:
         module = importlib.import_module(f"repro.experiments.{name}")
         effective = "mobility" if name in MOBILITY_EXPERIMENTS else scale
         started = time.time()
         output = module.run(effective, seed)
-        print(f"\n# {name}  (scale={effective}, {time.time() - started:.1f}s)")
+        print(f"\n# {name}  (scale={effective})")
         print(output.text)
+        # Wall-clock goes to stderr: timing must never perturb the
+        # byte-parity of the rendered study.
+        print(f"# {name}: {time.time() - started:.1f}s", file=sys.stderr)
     if perf:
         _print_cached_perf()
     return 0
@@ -160,16 +245,19 @@ def _print_cached_perf() -> None:
     """Append perf-counter tables for every scenario the batch ran.
 
     Printed strictly after the experiment tables so the paper-style output
-    (and its golden files) is unchanged by ``--perf``.
+    (and its golden files) is unchanged by ``--perf``.  Artifacts are
+    ordered by their human-readable labels (which embed the fingerprint),
+    so the listing is deterministic however the pool scheduled the runs.
     """
     from repro.analysis.report import render_perf
     from repro.experiments.common import cached_results
 
-    for (scale, seed), result in sorted(cached_results().items()):
-        stats = result.system.stats()
+    artifacts = sorted(cached_results().values(), key=lambda a: a.label())
+    for artifact in artifacts:
         print()
         print(render_perf(
-            f"perf counters  (scale={scale}, seed={seed})", stats.as_dict()
+            f"perf counters  ({artifact.label()})",
+            artifact.stats.as_dict(),
         ))
 
 
@@ -259,6 +347,93 @@ def _run_audit(args) -> int:
     return 0
 
 
+def _run_faults(args) -> int:
+    from repro.faults import (
+        SCENARIOS, DrillRequest, run_drill, run_drill_portable, scenario_names,
+    )
+
+    if args.list_scenarios:
+        for name, factory in SCENARIOS.items():
+            doc = (factory.__doc__ or "").strip().splitlines()
+            print(f"{name:24s} {doc[0] if doc else ''}")
+        return 0
+
+    if args.all_scenarios:
+        from repro.runner import default_jobs, parallel_map
+
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        requests = [
+            DrillRequest(scenario=name, seed=args.seed,
+                         fault_at=args.at, fault_duration=args.duration)
+            for name in scenario_names()  # library order, always
+        ]
+        try:
+            reports = parallel_map(run_drill_portable, requests, jobs=jobs)
+        except ValueError as exc:  # bad --at/--duration (spec validation)
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json_report:
+            print(json.dumps([r.data for r in reports],
+                             indent=2, sort_keys=True))
+        else:
+            print("\n\n".join(r.text for r in reports))
+        return 0
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario: {args.scenario}", file=sys.stderr)
+        print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    try:
+        report = run_drill(args.scenario, args.seed,
+                           fault_at=args.at, fault_duration=args.duration)
+    except ValueError as exc:  # bad --at/--duration (spec validation)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_report:
+        print(json.dumps(report.as_json(), indent=2, sort_keys=True))
+    else:
+        print(report.text)
+    return 0
+
+
+def _run_cache(args) -> int:
+    from repro.runner import ResultCache
+
+    cache = ResultCache(_cache_root(args))
+
+    if args.action == "ls":
+        entries = cache.entries(all_namespaces=True)
+        if not entries:
+            print(f"cache empty ({cache.root})")
+            return 0
+        print(f"cache at {cache.root}  (active namespace: {cache.namespace})")
+        for entry in entries:
+            flag = "stale " if entry.stale else "      "
+            print(f"{flag}{entry.fingerprint[:16]}  "
+                  f"{entry.size / 1e6:8.1f} MB  {entry.label}")
+        total = sum(e.size for e in entries)
+        print(f"{len(entries)} entries, {total / 1e6:.1f} MB")
+        return 0
+
+    if args.action == "clear":
+        removed = cache.clear(all_namespaces=True)
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+
+    if args.action == "verify":
+        problems = cache.verify(all_namespaces=True)
+        checked = len(cache.entries(all_namespaces=True))
+        for fingerprint, problem in problems:
+            print(f"CORRUPT {fingerprint[:16]}: {problem}", file=sys.stderr)
+        if problems:
+            print(f"{len(problems)} of {checked} entries corrupt")
+            return 1
+        print(f"ok: {checked} entries verified")
+        return 0
+
+    raise AssertionError(f"unhandled cache action {args.action!r}")  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -273,11 +448,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         return _run_experiments(args.experiments, args.scale, args.seed,
-                                perf=args.perf)
+                                perf=args.perf, jobs=args.jobs,
+                                cache=_resolve_cache(args))
 
     if args.command == "study":
         return _run_experiments(list(ALL_EXPERIMENTS), args.scale, args.seed,
-                                perf=args.perf)
+                                perf=args.perf, jobs=args.jobs,
+                                cache=_resolve_cache(args))
 
     if args.command == "perf":
         return _run_perf(args.scale, args.seed,
@@ -285,6 +462,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "audit":
         return _run_audit(args)
+
+    if args.command == "cache":
+        return _run_cache(args)
 
     if args.command == "trace":
         from repro.analysis.export import export_trace
@@ -300,27 +480,6 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "faults":
-        from repro.faults import SCENARIOS, run_drill, scenario_names
-
-        if args.list_scenarios:
-            for name, factory in SCENARIOS.items():
-                doc = (factory.__doc__ or "").strip().splitlines()
-                print(f"{name:24s} {doc[0] if doc else ''}")
-            return 0
-        if args.scenario not in SCENARIOS:
-            print(f"unknown scenario: {args.scenario}", file=sys.stderr)
-            print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
-            return 2
-        try:
-            report = run_drill(args.scenario, args.seed,
-                               fault_at=args.at, fault_duration=args.duration)
-        except ValueError as exc:  # bad --at/--duration (spec validation)
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        if args.json_report:
-            print(json.dumps(report.as_json(), indent=2, sort_keys=True))
-        else:
-            print(report.text)
-        return 0
+        return _run_faults(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

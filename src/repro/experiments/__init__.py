@@ -1,11 +1,18 @@
 """One runner per paper table/figure; see DESIGN.md's experiment index.
 
 Each ``exp_*`` module exposes ``run(scale, seed) -> ExperimentOutput``.
+Modules whose scenario needs differ from "one standard trace" also expose
+``configs(scale, seed) -> list[ScenarioConfig]`` — the orchestrator's
+prefetch planner (see :func:`planned_configs`) uses it to fan scenario
+runs out across the process pool before the runners render serially.
 """
 
-from repro.experiments.common import ExperimentOutput, standard_config, standard_result
+from repro.experiments.common import (
+    ExperimentOutput, scenario_result, standard_config, standard_result,
+)
 
-__all__ = ["ExperimentOutput", "standard_config", "standard_result", "ALL_EXPERIMENTS"]
+__all__ = ["ExperimentOutput", "standard_config", "standard_result",
+           "scenario_result", "planned_configs", "ALL_EXPERIMENTS"]
 
 #: Importable names of all experiment modules, for the run-everything example.
 ALL_EXPERIMENTS = [
@@ -17,3 +24,21 @@ ALL_EXPERIMENTS = [
     "exp_lan_updates", "exp_ablation_prefetch", "exp_managed_swarm",
     "exp_fault_matrix", "exp_blackout_recovery",
 ]
+
+
+def planned_configs(name: str, scale: str, seed: int) -> list:
+    """The scenario configs one experiment will resolve, for prefetching.
+
+    Uses the module's ``configs(scale, seed)`` planner when it defines
+    one; the default is the single standard trace at the given scale.
+    Self-contained experiments (those that build bespoke systems inline)
+    declare an empty plan so the prefetch never runs a trace they will
+    not read.
+    """
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    planner = getattr(module, "configs", None)
+    if planner is not None:
+        return list(planner(scale, seed))
+    return [standard_config(scale, seed)]

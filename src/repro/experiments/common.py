@@ -1,8 +1,18 @@
 """Shared experiment machinery: standard scenarios, caching, output type.
 
 Every table/figure runner draws on the same synthetic trace (like the
-paper: one October-2012 log set feeds every analysis), so the scenario
-result is computed once per (scale, seed) and cached for the process.
+paper: one October-2012 log set feeds every analysis), so each distinct
+scenario configuration is computed once and cached for the process.
+
+Caching is *content-addressed*: results are keyed by the configuration's
+fingerprint (:func:`repro.runner.fingerprint_config`), never by loose
+``(scale, seed)`` pairs — two experiments tweaking different knobs of the
+same scale can no longer collide on a shared stale entry.  The module
+holds one process-wide artifact store (``_ARTIFACTS``) that survives
+runner reconfiguration, and an :class:`~repro.runner.Orchestrator` in
+front of it that the CLI points at a process pool and an on-disk cache
+(``repro run/study --jobs N``); libraries and tests get the serial,
+memory-only default.
 
 Scales:
 
@@ -17,18 +27,28 @@ Scales:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.runner import Orchestrator, ResultCache, ScenarioArtifact
 from repro.workload import (
-    BehaviorConfig, CatalogConfig, DemandConfig, PopulationConfig,
-    ScenarioConfig, ScenarioResult, run_scenario,
+    CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig,
 )
 
 __all__ = ["ExperimentOutput", "standard_config", "standard_result",
-           "cached_results", "SCALES"]
+           "scenario_result", "prefetch", "cached_results", "SCALES",
+           "configure_runner", "get_runner"]
 
 SCALES = ("small", "standard", "mobility")
 
-_CACHE: dict[tuple[str, int], ScenarioResult] = {}
+#: Process-wide artifact store, fingerprint-keyed.  Shared by every
+#: orchestrator this module configures, so a CLI ``--jobs`` flag changes
+#: scheduling without forgetting already-computed scenarios.
+_ARTIFACTS: dict[str, ScenarioArtifact] = {}
+
+#: The active orchestrator.  Default: serial, memory-only — library users
+#: and the test suite get exactly the old semantics.  The CLI swaps it via
+#: :func:`configure_runner`.
+_RUNNER = Orchestrator(memory=_ARTIFACTS)
 
 
 @dataclass
@@ -41,6 +61,25 @@ class ExperimentOutput:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text
+
+
+def get_runner() -> Orchestrator:
+    """The orchestrator experiments currently resolve scenarios through."""
+    return _RUNNER
+
+
+def configure_runner(
+    *, jobs: int = 1, cache: Optional[ResultCache] = None
+) -> Orchestrator:
+    """Swap the active orchestrator (keeping the process-wide memo).
+
+    ``jobs`` sets the process-pool width for cache misses; ``cache``
+    attaches an on-disk :class:`~repro.runner.ResultCache`.  Returns the
+    new orchestrator.
+    """
+    global _RUNNER
+    _RUNNER = Orchestrator(jobs=jobs, cache=cache, memory=_ARTIFACTS)
+    return _RUNNER
 
 
 def standard_config(scale: str = "small", seed: int = 42) -> ScenarioConfig:
@@ -72,18 +111,31 @@ def standard_config(scale: str = "small", seed: int = 42) -> ScenarioConfig:
     raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
 
 
-def standard_result(scale: str = "small", seed: int = 42) -> ScenarioResult:
+def scenario_result(config: ScenarioConfig) -> ScenarioArtifact:
+    """Run (or fetch from the fingerprint-keyed cache) one scenario."""
+    return _RUNNER.result(config)
+
+
+def standard_result(scale: str = "small", seed: int = 42) -> ScenarioArtifact:
     """Run (or fetch from cache) the standard scenario at a scale."""
-    key = (scale, seed)
-    if key not in _CACHE:
-        _CACHE[key] = run_scenario(standard_config(scale, seed))
-    return _CACHE[key]
+    return scenario_result(standard_config(scale, seed))
 
 
-def cached_results() -> dict[tuple[str, int], ScenarioResult]:
-    """The scenario results computed so far, keyed by (scale, seed).
+def prefetch(configs: list[ScenarioConfig]) -> list[ScenarioArtifact]:
+    """Resolve many scenarios at once — the parallel fan-out entry point.
+
+    Deduplicates by fingerprint and schedules the misses across the active
+    orchestrator's process pool; the experiments that later ask for these
+    configs render from cache hits, in whatever order the caller runs
+    them.  Returns the artifacts in input order.
+    """
+    return _RUNNER.run_many(configs)
+
+
+def cached_results() -> dict[str, ScenarioArtifact]:
+    """The scenario artifacts computed so far, keyed by config fingerprint.
 
     Lets callers (e.g. ``repro run --perf``) report perf counters for the
     scenarios a batch of experiments actually ran, without re-running them.
     """
-    return dict(_CACHE)
+    return _RUNNER.cached()

@@ -11,18 +11,27 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.analysis import offload_summary, pct, render_table
-from repro.experiments.common import ExperimentOutput, standard_config, standard_result
-from repro.workload import run_scenario
+from repro.experiments.common import (
+    ExperimentOutput, scenario_result, standard_config, standard_result,
+)
+
+
+def _backstop_off_config(scale: str, seed: int):
+    cfg = standard_config(scale, seed)
+    return replace(
+        cfg, system=cfg.system.with_client(edge_backstop_enabled=False)
+    )
+
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: the standard trace plus the backstop-off rerun."""
+    return [standard_config(scale, seed), _backstop_off_config(scale, seed)]
 
 
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     """Compare offload and speed with the backstop policy on/off."""
     on = standard_result(scale, seed)
-    cfg = standard_config(scale, seed)
-    off_cfg = replace(
-        cfg, system=cfg.system.with_client(edge_backstop_enabled=False)
-    )
-    off = run_scenario(off_cfg)
+    off = scenario_result(_backstop_off_config(scale, seed))
 
     rows = []
     metrics = {}

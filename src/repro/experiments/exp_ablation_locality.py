@@ -12,16 +12,25 @@ from dataclasses import replace
 
 from repro.analysis import pct, render_table
 from repro.analysis.traffic import locality_shares
-from repro.experiments.common import ExperimentOutput, standard_config, standard_result
-from repro.workload import run_scenario
+from repro.experiments.common import (
+    ExperimentOutput, scenario_result, standard_config, standard_result,
+)
+
+
+def _random_config(scale: str, seed: int):
+    return replace(standard_config(scale, seed),
+                   locality_aware_selection=False)
+
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: the standard trace plus the random-selection rerun."""
+    return [standard_config(scale, seed), _random_config(scale, seed)]
 
 
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     """Compare traffic locality shares across selection policies."""
     local = standard_result(scale, seed)
-    random_cfg = replace(standard_config(scale, seed),
-                         locality_aware_selection=False)
-    random_result = run_scenario(random_cfg)
+    random_result = scenario_result(_random_config(scale, seed))
 
     rows = []
     metrics = {}

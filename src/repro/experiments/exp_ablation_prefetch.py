@@ -11,21 +11,26 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.analysis import offload_summary, pct, render_table
-from repro.experiments.common import ExperimentOutput, standard_config
-from repro.workload import run_scenario
+from repro.experiments.common import (
+    ExperimentOutput, scenario_result, standard_config,
+)
 
-_CACHE: dict = {}
+
+def _cold_config(scale: str, seed: int):
+    return replace(standard_config(scale, seed), warm_copies_per_peer=0.0)
+
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: the cold start with and without predictive placement."""
+    base = _cold_config(scale, seed)
+    return [base, replace(base, predictive_placement=True)]
 
 
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     """Cold-start offload with and without predictive placement."""
-    key = (scale, seed)
-    if key not in _CACHE:
-        base = replace(standard_config(scale, seed), warm_copies_per_peer=0.0)
-        cold = run_scenario(base)
-        prefetching = run_scenario(replace(base, predictive_placement=True))
-        _CACHE[key] = (cold, prefetching)
-    cold, prefetching = _CACHE[key]
+    base = _cold_config(scale, seed)
+    cold = scenario_result(base)
+    prefetching = scenario_result(replace(base, predictive_placement=True))
 
     rows = []
     metrics = {}

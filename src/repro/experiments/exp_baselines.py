@@ -9,10 +9,20 @@ from __future__ import annotations
 
 from repro.analysis import pct, render_table
 from repro.baselines import P2PConfig, P2PPeer, PureP2PSwarm, infrastructure_cost
-from repro.experiments.common import ExperimentOutput, standard_config, standard_result
-from repro.workload import run_scenario
-from repro.workload.scenario import ScenarioConfig
+from repro.experiments.common import (
+    ExperimentOutput, scenario_result, standard_config, standard_result,
+)
 from dataclasses import replace
+
+
+def _infra_config(scale: str, seed: int):
+    cfg = standard_config(scale, seed)
+    return replace(cfg, system=replace(cfg.system, p2p_globally_enabled=False))
+
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: the hybrid standard trace plus the p2p-off rerun."""
+    return [standard_config(scale, seed), _infra_config(scale, seed)]
 
 
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
@@ -23,9 +33,7 @@ def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     hybrid_completed = hybrid_cost.completion_rate
 
     # Pure infrastructure: same scenario, p2p globally off.
-    cfg = standard_config(scale, seed)
-    infra_cfg = replace(cfg, system=replace(cfg.system, p2p_globally_enabled=False))
-    infra = run_scenario(infra_cfg)
+    infra = scenario_result(_infra_config(scale, seed))
     infra_cost_rep = infrastructure_cost(infra.logstore)
 
     # Pure P2P: a BitTorrent-like swarm on an equivalent object, with the

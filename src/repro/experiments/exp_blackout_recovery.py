@@ -58,6 +58,12 @@ def _pin_link(peer: PeerNode, down_mbps: float, up_mbps: float) -> None:
     )
 
 
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: self-contained (builds its own system inline)."""
+    return []
+
+
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     """One 10-minute self-recovery blackout against a pinned-link fleet."""
     wave_size = 8 if scale == "standard" else 4

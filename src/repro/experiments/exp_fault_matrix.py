@@ -6,11 +6,12 @@ import dataclasses
 
 from repro.analysis import pct, render_table, window_outcomes
 from repro.analysis.faults import fault_impact
-from repro.experiments.common import ExperimentOutput, standard_config
+from repro.experiments.common import (
+    ExperimentOutput, scenario_result, standard_config,
+)
 from repro.faults.scenarios import build_scenario
 from repro.workload import (
     CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig,
-    ScenarioResult, run_scenario,
 )
 
 #: Paper §5.2 under normal operation: peer-assisted downloads complete 92%
@@ -28,10 +29,6 @@ MATRIX_SCENARIOS = (
     "edge_brownout",
     "churn_storm",
 )
-
-#: (scale, seed) -> {scenario: (result, window, outcomes)}; each cell is a
-#: full scenario run, so the matrix is computed once per process.
-_MATRIX_CACHE: dict = {}
 
 DAY = 86_400.0
 
@@ -54,28 +51,41 @@ def _matrix_config(scale: str, seed: int) -> ScenarioConfig:
     return standard_config(scale, seed)
 
 
-def _run_matrix(scale: str, seed: int) -> dict:
-    key = (scale, seed)
-    if key in _MATRIX_CACHE:
-        return _MATRIX_CACHE[key]
-    base = _matrix_config(scale, seed)
+def _matrix_window(base: ScenarioConfig) -> tuple[float, float]:
     # The fault holds for the second quarter of the trace, long enough for
     # a full download cohort to start (and finish) inside the window.
     fault_at = 0.25 * base.duration_days * DAY
     fault_duration = 0.25 * base.duration_days * DAY
-    window = (fault_at, fault_at + fault_duration)
+    return (fault_at, fault_at + fault_duration)
 
-    cells: dict[str, tuple[ScenarioResult, dict]] = {}
-    baseline = run_scenario(base)
-    cells["baseline"] = (baseline, window_outcomes(
-        baseline.logstore, window[0], window[1]))
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: the no-fault baseline plus one cell per scenario."""
+    base = _matrix_config(scale, seed)
+    fault_at, end = _matrix_window(base)
+    out = [base]
     for name in MATRIX_SCENARIOS:
-        faults = build_scenario(name, at=fault_at, duration=fault_duration)
-        faulted = run_scenario(dataclasses.replace(base, faults=faults))
-        cells[name] = (faulted, window_outcomes(
-            faulted.logstore, window[0], window[1]))
-    _MATRIX_CACHE[key] = {"cells": cells, "window": window}
-    return _MATRIX_CACHE[key]
+        faults = build_scenario(name, at=fault_at, duration=end - fault_at)
+        out.append(dataclasses.replace(base, faults=faults))
+    return out
+
+
+def _run_matrix(scale: str, seed: int) -> dict:
+    """Resolve every matrix cell through the fingerprint-keyed cache.
+
+    Each cell is a full scenario run; the orchestrator deduplicates and —
+    when ``repro run --jobs N`` prefetched the plan — serves every cell
+    from cache without running anything here.
+    """
+    base = _matrix_config(scale, seed)
+    window = _matrix_window(base)
+    cells: dict[str, tuple] = {}
+    for name, config in zip(("baseline", *MATRIX_SCENARIOS),
+                            configs(scale, seed)):
+        artifact = scenario_result(config)
+        cells[name] = (artifact, window_outcomes(
+            artifact.logstore, window[0], window[1]))
+    return {"cells": cells, "window": window}
 
 
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
@@ -126,9 +136,7 @@ def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     recovery_rows = []
     for name in MATRIX_SCENARIOS:
         result, _ = cells[name]
-        if result.injector is None:
-            continue
-        for rec in result.injector.recoveries.values():
+        for rec in result.recoveries:
             recovery_rows.append([
                 name,
                 rec.fault,
@@ -153,8 +161,7 @@ def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     total_errors = 0
     for name in ("baseline", *MATRIX_SCENARIOS):
         result, _ = cells[name]
-        auditor = result.system.auditor
-        inv = auditor.stats()
+        inv = result.invariants
         total_errors += inv.errors
         audit_rows.append([
             name, inv.mode, inv.audits + inv.final_audits,

@@ -5,13 +5,12 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.analysis import figure5_efficiency_vs_copies, render_table
-from repro.experiments.common import ExperimentOutput, standard_config
-from repro.workload import run_scenario
+from repro.experiments.common import (
+    ExperimentOutput, scenario_result, standard_config,
+)
 
-_CACHE: dict[tuple[str, int], object] = {}
 
-
-def _fig5_result(scale: str, seed: int):
+def _fig5_config(scale: str, seed: int):
     """A scenario variant with p2p files spread across popularity ranks.
 
     Figure 5's x-axis spans files with one copy to files with tens of
@@ -19,17 +18,18 @@ def _fig5_result(scale: str, seed: int):
     which all land in the same (high) copy regime.  This variant enables
     p2p on a larger, popularity-diverse slice so the copies axis has range.
     """
-    key = (scale, seed)
-    if key not in _CACHE:
-        cfg = standard_config(scale, seed)
-        catalog = replace(
-            cfg.catalog,
-            p2p_enabled_fraction=0.12,
-            p2p_head_bias=0.30,
-        )
-        _CACHE[key] = run_scenario(replace(cfg, catalog=catalog,
-                                           warm_copies_per_peer=2.0))
-    return _CACHE[key]
+    cfg = standard_config(scale, seed)
+    catalog = replace(
+        cfg.catalog,
+        p2p_enabled_fraction=0.12,
+        p2p_head_bias=0.30,
+    )
+    return replace(cfg, catalog=catalog, warm_copies_per_peer=2.0)
+
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: only the copies-diverse variant (not the standard)."""
+    return [_fig5_config(scale, seed)]
 
 
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
@@ -40,7 +40,7 @@ def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     copies, reaching ~80% at high copy counts — the x-axis is compressed by
     the scenario's scale).
     """
-    result = _fig5_result(scale, seed)
+    result = scenario_result(_fig5_config(scale, seed))
     rows = figure5_efficiency_vs_copies(result.logstore)
     table_rows = [
         (f"{center:.0f}", f"{100 * m:.0f}%", f"{100 * p20:.0f}%", f"{100 * p80:.0f}%")

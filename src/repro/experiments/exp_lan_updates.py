@@ -73,6 +73,12 @@ def _run_fleet(seed: int, *, with_sites: bool) -> dict[str, float]:
     }
 
 
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: self-contained (builds its own system inline)."""
+    return []
+
+
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     """Compare the fleet-update push with and without LAN sites."""
     with_lan = _run_fleet(seed, with_sites=True)

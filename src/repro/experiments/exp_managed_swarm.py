@@ -41,6 +41,12 @@ def _build(policy: str, seed: int) -> ManagedSwarmSystem:
     return system
 
 
+
+def configs(scale: str, seed: int) -> list:
+    """Scenario plan: self-contained (builds its own system inline)."""
+    return []
+
+
 def run(scale: str = "small", seed: int = 42) -> ExperimentOutput:
     """Managed vs equal-split seeding across heterogeneous swarms."""
     rows = []

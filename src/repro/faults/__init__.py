@@ -17,7 +17,10 @@ Trace-level impact analysis lives with the other analyses, in
 :mod:`repro.analysis.faults`.
 """
 
-from repro.faults.drill import DrillReport, run_drill
+from repro.faults.drill import (
+    DrillReport, DrillRequest, PortableDrillReport, run_drill,
+    run_drill_portable,
+)
 from repro.faults.injector import FaultInjector, InjectionEvent
 from repro.faults.metrics import FaultRecovery, RecoveryTracker
 from repro.faults.scenarios import SCENARIOS, build_scenario, scenario_names
@@ -35,5 +38,6 @@ __all__ = [
     "FaultInjector", "InjectionEvent",
     "FaultRecovery", "RecoveryTracker",
     "SCENARIOS", "build_scenario", "scenario_names",
-    "DrillReport", "run_drill",
+    "DrillReport", "DrillRequest", "PortableDrillReport",
+    "run_drill", "run_drill_portable",
 ]

@@ -27,7 +27,8 @@ from repro.faults.injector import FaultInjector, InjectionEvent
 from repro.faults.metrics import FaultRecovery
 from repro.faults.scenarios import build_scenario
 
-__all__ = ["DrillReport", "run_drill"]
+__all__ = ["DrillReport", "DrillRequest", "PortableDrillReport",
+           "run_drill", "run_drill_portable"]
 
 MB = 1024 * 1024
 
@@ -240,3 +241,54 @@ def run_drill(
     )
     report.text = _render(report)
     return report
+
+
+@dataclass(frozen=True)
+class DrillRequest:
+    """One drill, fully specified — the process-pool work unit.
+
+    A frozen value object so ``repro faults --all --jobs N`` can ship the
+    whole scenario library across a process pool; the worker rebuilds the
+    drill from the request alone (all RNGs are seeded from it).
+    """
+
+    scenario: str
+    seed: int = 42
+    fault_at: float = 600.0
+    fault_duration: float = 3600.0
+
+
+@dataclass(frozen=True)
+class PortableDrillReport:
+    """The picklable face of a :class:`DrillReport`.
+
+    A live report holds finished :class:`DownloadSession` objects (wired
+    into the simulated system, unpicklable by design); workers return this
+    projection instead — the rendered text plus the machine-readable view,
+    which is everything the CLI and CI artifacts consume.
+    """
+
+    scenario: str
+    seed: int
+    text: str
+    data: dict
+
+
+def run_drill_portable(request: DrillRequest) -> PortableDrillReport:
+    """Process-pool entry point: run one drill, return its portable report.
+
+    Deterministic from the request alone, so scenario-parallel drills
+    print byte-identical reports regardless of job count or worker RNG
+    state (the runner test layer enforces the same property for
+    scenarios).
+    """
+    report = run_drill(
+        request.scenario, request.seed,
+        fault_at=request.fault_at, fault_duration=request.fault_duration,
+    )
+    return PortableDrillReport(
+        scenario=request.scenario,
+        seed=request.seed,
+        text=report.text,
+        data=report.as_json(),
+    )

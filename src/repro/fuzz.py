@@ -32,8 +32,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.scenarios import build_scenario, scenario_names
 from repro.invariants import InvariantViolationError
 
-__all__ = ["FuzzSpec", "FuzzResult", "generate", "run_spec", "shrink",
-           "reproducer_script"]
+__all__ = ["FuzzSpec", "FuzzResult", "generate", "run_spec", "run_seed",
+           "run_seeds", "shrink", "reproducer_script"]
 
 MB = 1024 * 1024
 
@@ -222,6 +222,29 @@ def run_spec(spec: FuzzSpec) -> FuzzResult:
         spec=spec, failure=None, completed_downloads=completed,
         warnings=system.auditor.warning_count(),
     )
+
+
+def run_seed(seed: int) -> FuzzResult:
+    """Generate and run one seed — the process-pool work unit.
+
+    Deterministic from the integer alone (spec generation and the run
+    itself are both seeded from it), so a pool worker returns the same
+    result the parent process would have computed.
+    """
+    return run_spec(generate(seed))
+
+
+def run_seeds(seeds: list[int], *, jobs: int = 1) -> list[FuzzResult]:
+    """Run many seeds, optionally across a process pool, in seed order.
+
+    The parallel sweep only *finds* failures; shrinking a failure stays
+    serial (see :func:`shrink`) because each shrink step depends on the
+    previous verdict.  Results come back in input order, so a CI sweep
+    reports the same first-failing seed at every ``--jobs`` width.
+    """
+    from repro.runner import parallel_map
+
+    return parallel_map(run_seed, list(seeds), jobs=jobs)
 
 
 # ---------------------------------------------------------------- shrinking

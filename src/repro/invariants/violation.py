@@ -70,3 +70,10 @@ class InvariantViolationError(RuntimeError):
     def __init__(self, violation: InvariantViolation):
         super().__init__(str(violation))
         self.violation = violation
+
+    def __reduce__(self):
+        # The default exception reduce rebuilds from ``self.args`` (the
+        # rendered string), which would leave ``violation`` holding a str
+        # after a round trip through a process pool.  Rebuild from the
+        # structured violation instead.
+        return (InvariantViolationError, (self.violation,))

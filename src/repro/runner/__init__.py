@@ -1,0 +1,34 @@
+"""repro.runner — deterministic process-parallel experiment orchestration.
+
+Four pieces, layered:
+
+* :mod:`~repro.runner.fingerprint` — content hashes for configs and code;
+* :mod:`~repro.runner.artifact` — the picklable scenario projection that
+  crosses process and disk boundaries;
+* :mod:`~repro.runner.cache` — the on-disk, namespace-versioned result
+  cache (``.repro-cache/``, managed by ``repro cache``);
+* :mod:`~repro.runner.orchestrator` — fingerprint-deduplicated scheduling
+  over a process pool, merging results in caller order.
+
+The contract, enforced by ``tests/runner/``: any pipeline built on this
+package renders byte-identical output for ``--jobs 1`` and ``--jobs N``,
+cold cache and warm.
+"""
+
+from repro.runner.artifact import (
+    ScenarioArtifact, artifact_from_result, run_scenario_artifact,
+)
+from repro.runner.cache import DEFAULT_CACHE_DIR, CacheEntry, ResultCache
+from repro.runner.fingerprint import (
+    CACHE_SCHEMA_VERSION, cache_namespace, canonicalize, code_fingerprint,
+    fingerprint_config,
+)
+from repro.runner.orchestrator import Orchestrator, default_jobs, parallel_map
+
+__all__ = [
+    "ScenarioArtifact", "artifact_from_result", "run_scenario_artifact",
+    "CacheEntry", "ResultCache", "DEFAULT_CACHE_DIR",
+    "CACHE_SCHEMA_VERSION", "cache_namespace", "canonicalize",
+    "code_fingerprint", "fingerprint_config",
+    "Orchestrator", "parallel_map", "default_jobs",
+]

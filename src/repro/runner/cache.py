@@ -1,0 +1,243 @@
+"""On-disk scenario result cache (``.repro-cache/``).
+
+Layout::
+
+    .repro-cache/
+        v1-<code fingerprint>/          # namespace: schema + code digest
+            <fp[:2]>/<fp>.pkl           # pickled ScenarioArtifact
+            <fp[:2]>/<fp>.json          # sidecar metadata
+
+Every entry is namespaced by :func:`~repro.runner.fingerprint.cache_namespace`
+— a schema version plus a digest of the ``repro`` package's own source — so
+touching any code invalidates the whole namespace instead of risking stale
+results.  Old namespaces linger on disk (a checkout switching branches can
+come back to them) until ``repro cache clear`` or eviction removes them.
+
+The sidecar records a SHA-256 of the payload; :meth:`ResultCache.get`
+verifies it on every read, so a corrupted or truncated entry degrades to a
+cache miss instead of a wrong result.  Writes are atomic
+(temp file + ``os.replace``), so a killed run never leaves a half-written
+entry behind.  :meth:`ResultCache.prune` evicts least-recently-used entries
+past the entry/byte budgets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.runner.fingerprint import cache_namespace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.runner.artifact import ScenarioArtifact
+
+__all__ = ["CacheEntry", "ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache root, relative to the working directory; override with
+#: ``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment variable.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One listed cache entry (metadata only; the payload stays on disk)."""
+
+    fingerprint: str
+    namespace: str
+    path: Path
+    size: int
+    created: float
+    last_used: float
+    label: str = ""
+
+    @property
+    def stale(self) -> bool:
+        """True when the entry belongs to an old code/schema namespace."""
+        return self.namespace != cache_namespace()
+
+
+class ResultCache:
+    """Fingerprint-keyed artifact store under a cache root directory."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike = DEFAULT_CACHE_DIR,
+        *,
+        namespace: Optional[str] = None,
+        max_entries: int = 256,
+        max_bytes: int = 4 << 30,
+    ):
+        self.root = Path(root)
+        self.namespace = namespace if namespace is not None else cache_namespace()
+        if max_entries <= 0 or max_bytes <= 0:
+            raise ValueError("cache budgets must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+
+    # ------------------------------------------------------------- layout
+
+    @property
+    def namespace_dir(self) -> Path:
+        return self.root / self.namespace
+
+    def _payload_path(self, fingerprint: str) -> Path:
+        return self.namespace_dir / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def _meta_path(self, fingerprint: str) -> Path:
+        return self.namespace_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------ get/put
+
+    def get(self, fingerprint: str) -> Optional["ScenarioArtifact"]:
+        """Load an artifact, or None on miss/corruption (miss-equivalent)."""
+        payload_path = self._payload_path(fingerprint)
+        meta_path = self._meta_path(fingerprint)
+        try:
+            payload = payload_path.read_bytes()
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+        if hashlib.sha256(payload).hexdigest() != meta.get("sha256"):
+            # Corrupted entry: drop it so the slot is rebuilt, not re-read.
+            self._remove(fingerprint)
+            return None
+        try:
+            artifact = pickle.loads(payload)
+        except Exception:
+            self._remove(fingerprint)
+            return None
+        meta["last_used"] = time.time()
+        self._write_atomic(meta_path, json.dumps(meta).encode("utf-8"))
+        return artifact
+
+    def put(self, fingerprint: str, artifact: "ScenarioArtifact") -> Path:
+        """Persist an artifact and prune past the budgets."""
+        payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        now = time.time()
+        meta = {
+            "fingerprint": fingerprint,
+            "namespace": self.namespace,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "bytes": len(payload),
+            "created": now,
+            "last_used": now,
+            "label": artifact.label(),
+        }
+        payload_path = self._payload_path(fingerprint)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(payload_path, payload)
+        self._write_atomic(self._meta_path(fingerprint),
+                           json.dumps(meta, sort_keys=True).encode("utf-8"))
+        self.prune()
+        return payload_path
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _remove(self, fingerprint: str) -> None:
+        for path in (self._payload_path(fingerprint),
+                     self._meta_path(fingerprint)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------ introspection
+
+    def entries(self, *, all_namespaces: bool = False) -> list[CacheEntry]:
+        """List entries, oldest-used first (stable for eviction and `ls`)."""
+        out: list[CacheEntry] = []
+        if not self.root.is_dir():
+            return out
+        namespaces = (
+            sorted(p.name for p in self.root.iterdir() if p.is_dir())
+            if all_namespaces else [self.namespace]
+        )
+        for ns in namespaces:
+            for meta_path in sorted((self.root / ns).glob("*/*.json")):
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except (OSError, ValueError):
+                    continue
+                fp = meta.get("fingerprint", meta_path.stem)
+                payload = meta_path.with_suffix(".pkl")
+                out.append(CacheEntry(
+                    fingerprint=fp,
+                    namespace=ns,
+                    path=payload,
+                    size=int(meta.get("bytes", 0)),
+                    created=float(meta.get("created", 0.0)),
+                    last_used=float(meta.get("last_used", 0.0)),
+                    label=str(meta.get("label", "")),
+                ))
+        out.sort(key=lambda e: (e.last_used, e.fingerprint))
+        return out
+
+    def verify(self, *, all_namespaces: bool = False) -> list[tuple[str, str]]:
+        """Check every entry's payload against its recorded digest.
+
+        Returns ``(fingerprint, problem)`` pairs; an empty list means the
+        cache is sound.  Detects truncation, bit rot, missing payloads,
+        and unreadable pickles without deleting anything.
+        """
+        problems: list[tuple[str, str]] = []
+        for entry in self.entries(all_namespaces=all_namespaces):
+            meta_path = entry.path.with_suffix(".json")
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                problems.append((entry.fingerprint, "unreadable metadata"))
+                continue
+            try:
+                payload = entry.path.read_bytes()
+            except OSError:
+                problems.append((entry.fingerprint, "missing payload"))
+                continue
+            if hashlib.sha256(payload).hexdigest() != meta.get("sha256"):
+                problems.append((entry.fingerprint, "digest mismatch"))
+                continue
+            try:
+                pickle.loads(payload)
+            except Exception:
+                problems.append((entry.fingerprint, "unpicklable payload"))
+        return problems
+
+    # ---------------------------------------------------------- lifecycle
+
+    def prune(self) -> int:
+        """Evict least-recently-used entries past the budgets.
+
+        Only the active namespace is pruned — stale namespaces are dead
+        weight the user clears explicitly (or a branch switch revives).
+        Returns the number of entries evicted.
+        """
+        entries = self.entries()
+        evicted = 0
+        total = sum(e.size for e in entries)
+        while entries and (len(entries) > self.max_entries
+                           or total > self.max_bytes):
+            victim = entries.pop(0)  # oldest last_used first
+            self._remove(victim.fingerprint)
+            total -= victim.size
+            evicted += 1
+        return evicted
+
+    def clear(self, *, all_namespaces: bool = True) -> int:
+        """Delete cached entries; returns how many were removed."""
+        removed = len(self.entries(all_namespaces=all_namespaces))
+        if all_namespaces:
+            if self.root.is_dir():
+                shutil.rmtree(self.root)
+        elif self.namespace_dir.is_dir():
+            shutil.rmtree(self.namespace_dir)
+        return removed

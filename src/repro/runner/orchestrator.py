@@ -1,0 +1,149 @@
+"""Deterministic process-parallel scheduling of scenario runs.
+
+One trace feeds ~20 tables and figures (the paper's shape), and studies,
+fault drills, sweeps, and fuzz runs are all embarrassingly parallel over
+*distinct* scenario configurations.  The orchestrator exploits that while
+keeping the one property the reproduction cannot trade away: rendered
+output is byte-identical regardless of job count.
+
+How the guarantee holds:
+
+* **Workers are pure.**  The pool entry point is
+  :func:`~repro.runner.artifact.run_scenario_artifact`, whose only input
+  is the config; every RNG is re-seeded from it, so a worker inherits
+  nothing from parent-process state.
+* **Scheduling is keyed by content.**  Configs are fingerprinted
+  (:mod:`repro.runner.fingerprint`); duplicates collapse to one run no
+  matter how many callers ask.
+* **Merging is ordered by the caller, not the pool.**  Results return in
+  submission order; completion order never leaks into output.
+
+Layers above use two surfaces: :class:`Orchestrator` for cached scenario
+runs, and :func:`parallel_map` for order-preserving fan-out of other pure
+functions (fault drills, fuzz specs).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.runner.artifact import ScenarioArtifact, run_scenario_artifact
+from repro.runner.cache import ResultCache
+from repro.runner.fingerprint import fingerprint_config
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.scenario import ScenarioConfig
+
+__all__ = ["Orchestrator", "parallel_map", "default_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """The CLI's default ``--jobs``: every core the container grants."""
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    jobs: int = 1,
+) -> list[R]:
+    """Map a pure, picklable function over items, preserving input order.
+
+    ``jobs <= 1`` (or a single item) runs in-process with no pool, which
+    keeps tracebacks direct and avoids fork overhead for trivial batches.
+    Results always come back in input order — the scheduling never shows.
+    """
+    items = list(items)
+    jobs = max(1, min(jobs, len(items))) if items else 1
+    if jobs == 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(fn, items))
+
+
+class Orchestrator:
+    """Fingerprint-keyed scenario runner with memory + disk caching.
+
+    Resolution order per config: in-memory memo → on-disk
+    :class:`ResultCache` → run (in a process pool when ``jobs > 1`` and
+    more than one distinct scenario misses).  Every resolved artifact
+    lands back in both caches, so a warm study renders without running a
+    single simulation.
+
+    The memo dict can be shared (``memory=``) so a caller — the
+    experiments layer — keeps one process-wide artifact store across
+    reconfigurations, exactly like the old module-global ``_CACHE`` but
+    keyed by content instead of ``(scale, seed)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        memory: Optional[dict[str, ScenarioArtifact]] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.memory: dict[str, ScenarioArtifact] = (
+            memory if memory is not None else {}
+        )
+
+    # ------------------------------------------------------------ running
+
+    def result(self, config: "ScenarioConfig") -> ScenarioArtifact:
+        """Run (or fetch) one scenario."""
+        return self.run_many([config])[0]
+
+    def run_many(
+        self, configs: Iterable["ScenarioConfig"]
+    ) -> list[ScenarioArtifact]:
+        """Resolve every config to an artifact, in input order.
+
+        Duplicate configs (by fingerprint) are scheduled once.  Cache
+        misses run across the process pool; hits never pay a fork.
+        """
+        configs = list(configs)
+        fingerprints = [fingerprint_config(cfg) for cfg in configs]
+
+        # Unique misses, in first-appearance order (deterministic).
+        misses: dict[str, "ScenarioConfig"] = {}
+        for fp, cfg in zip(fingerprints, configs):
+            if fp in self.memory or fp in misses:
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(fp)
+                if cached is not None:
+                    self.memory[fp] = cached
+                    continue
+            misses[fp] = cfg
+
+        if misses:
+            artifacts = parallel_map(
+                run_scenario_artifact, list(misses.values()), jobs=self.jobs
+            )
+            for fp, artifact in zip(misses, artifacts):
+                if artifact.fingerprint != fp:  # pragma: no cover - sanity
+                    raise RuntimeError(
+                        f"worker fingerprint {artifact.fingerprint[:12]} != "
+                        f"scheduled {fp[:12]}: non-deterministic config?"
+                    )
+                self.memory[fp] = artifact
+                if self.cache is not None:
+                    self.cache.put(fp, artifact)
+
+        return [self.memory[fp] for fp in fingerprints]
+
+    # ------------------------------------------------------- introspection
+
+    def cached(self) -> dict[str, ScenarioArtifact]:
+        """The artifacts resolved so far this process, fingerprint-keyed."""
+        return dict(self.memory)

@@ -23,6 +23,25 @@ except ImportError:  # pragma: no cover
     pass
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the on-disk result cache at a throwaway directory.
+
+    CLI commands exercised by tests default to ``.repro-cache`` in the
+    working tree; redirecting via ``REPRO_CACHE_DIR`` keeps test runs from
+    polluting the checkout (and from reading a developer's warm cache,
+    which would mask cold-path bugs).
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic RNG for tests."""

@@ -8,14 +8,18 @@ round-trip) on a couple of seeds; the actual bug-hunting sweep is marked
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
 from repro.fuzz import (
-    FuzzSpec, generate, reproducer_script, run_spec, shrink,
+    FuzzSpec, generate, reproducer_script, run_seeds, run_spec, shrink,
 )
 
 SMOKE_SEEDS = (0, 1, 2)
+
+#: Seeds the CI sweep covers; REPRO_FUZZ_JOBS widens the worker pool.
+SWEEP_SEEDS = range(30)
 
 
 class TestGenerate:
@@ -103,19 +107,34 @@ class TestReproducer:
             assert name in script
 
 
+class TestRunSeeds:
+    def test_order_and_parity_across_jobs(self):
+        serial = run_seeds([5, 6], jobs=1)
+        pooled = run_seeds([5, 6], jobs=2)
+        assert [r.spec for r in serial] == [r.spec for r in pooled]
+        assert ([r.completed_downloads for r in serial]
+                == [r.completed_downloads for r in pooled])
+        assert [r.warnings for r in serial] == [r.warnings for r in pooled]
+
+
 @pytest.mark.fuzz
-@pytest.mark.parametrize("seed", range(30))
-def test_fuzz_sweep(seed):
+def test_fuzz_sweep():
     """The CI sweep: every seed must hold all invariants under strict mode.
 
-    On failure the assertion message carries a shrunk spec and a standalone
+    Seeds fan out across a process pool (``REPRO_FUZZ_JOBS``, default
+    serial); results come back in seed order, so the first failure
+    reported is the same at any width.  Shrinking the failure stays
+    serial — each step depends on the previous verdict — and the
+    assertion message carries the shrunk spec plus a standalone
     reproducer, so the finding is actionable straight from the CI log.
     """
-    result = run_spec(generate(seed))
-    if not result.ok:
-        shrunk = shrink(result.spec)
-        pytest.fail(
-            f"invariant violation: {result.failure}\n"
-            f"spec: {result.spec.label()}\n"
-            f"shrunk: {shrunk!r}\n\n{reproducer_script(shrunk)}")
-    assert result.completed_downloads > 0
+    jobs = int(os.environ.get("REPRO_FUZZ_JOBS", "1"))
+    results = run_seeds(list(SWEEP_SEEDS), jobs=jobs)
+    for result in results:
+        if not result.ok:
+            shrunk = shrink(result.spec)
+            pytest.fail(
+                f"invariant violation: {result.failure}\n"
+                f"spec: {result.spec.label()}\n"
+                f"shrunk: {shrunk!r}\n\n{reproducer_script(shrunk)}")
+        assert result.completed_downloads > 0, result.spec.label()

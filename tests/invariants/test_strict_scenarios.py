@@ -69,8 +69,15 @@ def test_strict_golden_parity(monkeypatch):
     result = run_scenario(strict_config)
     assert result.system.auditor.mode == "strict"
     assert result.system.auditor.error_count() == 0
-    # Serve the strict-mode run to the experiment renderers.
-    monkeypatch.setitem(common._CACHE, ("small", 42), result)
+    # Serve the strict-mode run to the experiment renderers: inject it into
+    # the artifact store under the *standard* config's fingerprint, so the
+    # renderers' lookups hit it (a deliberate cache poisoning — the point
+    # is that strict auditing must not have moved a byte).
+    from repro.runner import artifact_from_result, fingerprint_config
+
+    fp = fingerprint_config(config)
+    monkeypatch.setitem(common._ARTIFACTS, fp,
+                        artifact_from_result(result, fingerprint=fp))
     for module, golden in ((exp_table1, "exp_table1_small_seed42.txt"),
                            (exp_fig4, "exp_fig4_small_seed42.txt")):
         expected = (GOLDEN_DIR / golden).read_text()

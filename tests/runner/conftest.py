@@ -1,0 +1,36 @@
+"""Fixtures for the orchestrator test layer.
+
+Everything here runs *tiny* scenarios (sub-100ms) so the parity and
+cache-correctness properties can be checked exhaustively in the fast tier;
+only the CLI-level golden parity tests pay for the real ``small`` scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import (
+    CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig,
+)
+
+
+def tiny_config(seed: int = 5, **overrides) -> ScenarioConfig:
+    """A sub-second scenario: big enough to produce a real trace."""
+    import dataclasses
+
+    base = ScenarioConfig(
+        seed=seed,
+        duration_days=0.5,
+        population=PopulationConfig(n_peers=60),
+        demand=DemandConfig(total_downloads=50, duration_days=0.5),
+        catalog=CatalogConfig(objects_per_provider=6),
+    )
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+@pytest.fixture(scope="session")
+def tiny_artifact():
+    """One tiny scenario artifact, computed once for the whole session."""
+    from repro.runner import run_scenario_artifact
+
+    return run_scenario_artifact(tiny_config())

@@ -1,0 +1,169 @@
+"""Fingerprint correctness: every config knob moves the hash, nothing else.
+
+The cache is only sound if the fingerprint is a pure, *complete* function
+of the configuration: the exhaustive sweep below mutates every leaf field
+of the whole ``ScenarioConfig`` tree (nested dataclasses included) and
+asserts each mutation lands in a different cache slot.  A field this sweep
+misses is a field whose change would silently serve stale results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faults.scenarios import build_scenario
+from repro.runner import (
+    CACHE_SCHEMA_VERSION, cache_namespace, canonicalize, code_fingerprint,
+    fingerprint_config,
+)
+
+from tests.runner.conftest import tiny_config
+
+pytestmark = pytest.mark.runner
+
+
+# --------------------------------------------------- exhaustive field sweep
+
+def _candidates(value, name):
+    """Candidate replacement values != ``value``; the first one the field's
+    ``__post_init__`` validation accepts wins."""
+    if name == "mode":  # constrained choice; 'auto' resolves before hashing
+        return ["strict" if value != "strict" else "observe"]
+    if isinstance(value, bool):
+        return [not value]
+    if isinstance(value, int):
+        return [value + 1, max(value - 1, 1)]
+    if isinstance(value, float):
+        # Several shots: validated ranges differ ((0,1] fractions,
+        # probabilities, positive rates...).
+        return [c for c in (value + 0.37, value * 0.9, value * 0.5 + 0.001,
+                            0.123, 0.5) if c != value]
+    if isinstance(value, str):
+        return [value + "x"]
+    if value is None:  # Optional[float] knobs (egress caps, overrides)
+        return [0.5]
+    if isinstance(value, dict):  # e.g. DemandConfig.region_tz
+        return [{**value, "__sweep__": 1.0}]
+    if isinstance(value, tuple):
+        if name == "faults":
+            return [tuple(build_scenario("dn_wipe", at=600.0, duration=600.0))]
+        if name == "checkers":
+            return [("flow-feasibility",)]
+        if value and isinstance(value[0], (int, float, str)):
+            return [value + (value[0],)]
+    raise AssertionError(
+        f"no mutation rule for field {name!r} ({type(value).__qualname__}); "
+        "extend the sweep — an unswept field is an untested cache key"
+    )
+
+
+def _dataclass_mutations(obj, path=""):
+    """(field path, mutated copy) for every leaf field of a dataclass tree."""
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        where = f"{path}{f.name}"
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            for leaf, inner in _dataclass_mutations(value, f"{where}."):
+                yield leaf, dataclasses.replace(obj, **{f.name: inner})
+            continue
+        mutant = None
+        for candidate in _candidates(value, f.name):
+            try:
+                mutant = dataclasses.replace(obj, **{f.name: candidate})
+            except ValueError:
+                continue  # failed the field's validation; try the next
+            break
+        assert mutant is not None, f"no valid mutation found for {where!r}"
+        yield where, mutant
+
+
+def _all_config_mutations(config):
+    for name, mutant in _dataclass_mutations(config):
+        yield name, mutant
+
+
+def test_every_field_of_the_config_tree_changes_the_fingerprint():
+    config = tiny_config()
+    base = fingerprint_config(config)
+    seen = {base}
+    count = 0
+    for name, mutant in _all_config_mutations(config):
+        fp = fingerprint_config(mutant)
+        assert fp != base, f"mutating {name!r} did not change the fingerprint"
+        seen.add(fp)
+        count += 1
+    # The tree is deep: if the sweep collapses to a handful of fields the
+    # recursion is broken, not the fingerprint.
+    assert count >= 40, f"sweep only covered {count} leaf fields"
+    assert len(seen) == count + 1, "two distinct mutations collided"
+
+
+def test_equal_configs_fingerprint_identically():
+    assert fingerprint_config(tiny_config()) == fingerprint_config(tiny_config())
+
+
+def test_fingerprint_is_stable_within_a_process():
+    config = tiny_config(seed=11)
+    assert fingerprint_config(config) == fingerprint_config(config)
+
+
+def test_integral_floats_collapse_to_ints():
+    a = tiny_config(duration_days=1.0)
+    b = tiny_config(duration_days=1)
+    assert fingerprint_config(a) == fingerprint_config(b)
+
+
+def test_distinct_configs_same_scale_and_seed_do_not_collide():
+    # Regression for the old (scale, seed)-keyed cache: two experiments
+    # tweaking different knobs of the same scale/seed must never share an
+    # entry (exp_fig5 vs exp_ablation_prefetch both ran "small"/42).
+    base = tiny_config(seed=42)
+    variant = tiny_config(seed=42, warm_copies_per_peer=0.0)
+    assert base.seed == variant.seed
+    assert fingerprint_config(base) != fingerprint_config(variant)
+
+
+# ------------------------------------------------------------ canonicalize
+
+def test_canonicalize_rejects_unstable_types():
+    with pytest.raises(TypeError, match="canonicalize"):
+        canonicalize(object())
+
+
+def test_canonicalize_sorts_dict_keys():
+    assert canonicalize({"b": 1, "a": 2}) == canonicalize(
+        dict([("a", 2), ("b", 1)]))
+
+
+def test_auto_invariant_mode_resolves_through_env(monkeypatch):
+    # 'auto' is an env indirection; the fingerprint must capture the
+    # resolved behaviour so strict and observe runs never share a slot.
+    from repro.core.config import InvariantConfig
+
+    auto = InvariantConfig(mode="auto")
+    monkeypatch.setenv("REPRO_INVARIANTS", "strict")
+    strict_fp = fingerprint_config(auto)
+    monkeypatch.setenv("REPRO_INVARIANTS", "observe")
+    observe_fp = fingerprint_config(auto)
+    assert strict_fp != observe_fp
+    assert strict_fp == fingerprint_config(InvariantConfig(mode="strict"))
+    assert observe_fp == fingerprint_config(InvariantConfig(mode="observe"))
+
+
+# ------------------------------------------------------- cache namespacing
+
+def test_cache_namespace_embeds_schema_version_and_code_digest():
+    ns = cache_namespace()
+    assert ns.startswith(f"v{CACHE_SCHEMA_VERSION}-")
+    assert ns.endswith(code_fingerprint()[:16])
+
+
+def test_schema_version_bump_moves_the_namespace(monkeypatch):
+    import repro.runner.fingerprint as fingerprint_module
+
+    before = cache_namespace()
+    monkeypatch.setattr(fingerprint_module, "CACHE_SCHEMA_VERSION",
+                        CACHE_SCHEMA_VERSION + 1)
+    assert fingerprint_module.cache_namespace() != before

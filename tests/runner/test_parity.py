@@ -1,0 +1,86 @@
+"""Parity: the CLI renders byte-identical output at every --jobs width,
+cold or warm — the orchestrator's one non-negotiable property.
+
+The goldens pinned by ``tests/test_golden_parity.py`` anchor these runs to
+the pre-orchestrator pipeline: the pooled path must reproduce not just
+itself, but the exact bytes the serial in-process code always produced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.common as common
+import repro.runner.orchestrator as orchestrator_module
+from repro.cli import main
+from repro.runner import Orchestrator
+
+pytestmark = pytest.mark.runner
+
+GOLDEN_DIR = Path(__file__).parent.parent / "golden"
+
+#: exp_table1/exp_fig4 share the standard small trace; exp_fig5 plans its
+#: own variant — two distinct scenarios, so --jobs really exercises the pool.
+EXPERIMENTS = ["exp_table1", "exp_fig4", "exp_fig5"]
+
+
+@pytest.fixture
+def fresh_memo(monkeypatch):
+    """Give the test its own (empty) artifact store, restored afterwards."""
+    memo: dict = {}
+    monkeypatch.setattr(common, "_ARTIFACTS", memo)
+    monkeypatch.setattr(common, "_RUNNER", Orchestrator(memory=memo))
+    return memo
+
+
+def _run_cli(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestJobsParity:
+    def test_jobs1_and_jobs4_render_identical_bytes(self, fresh_memo,
+                                                    tmp_path, capsys):
+        serial = _run_cli(capsys, [
+            "run", *EXPERIMENTS, "--scale", "small", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "serial")])
+        fresh_memo.clear()  # second run must be cold too
+        pooled = _run_cli(capsys, [
+            "run", *EXPERIMENTS, "--scale", "small", "--jobs", "4",
+            "--cache-dir", str(tmp_path / "pooled")])
+        assert pooled == serial
+
+        # And both anchor to the pre-orchestrator goldens.
+        for golden in ("exp_table1_small_seed42.txt",
+                       "exp_fig4_small_seed42.txt"):
+            assert (GOLDEN_DIR / golden).read_text() in pooled
+
+    def test_warm_cache_renders_identical_bytes_without_running(
+            self, fresh_memo, tmp_path, capsys, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "exp_table1", "exp_fig4", "--scale", "small",
+                "--jobs", "2", "--cache-dir", cache_dir]
+        cold = _run_cli(capsys, argv)
+
+        fresh_memo.clear()
+        monkeypatch.setattr(
+            orchestrator_module, "run_scenario_artifact",
+            lambda config: pytest.fail(
+                "warm run must be served from disk, not re-simulated"))
+        warm = _run_cli(capsys, argv)
+        assert warm == cold
+
+
+@pytest.mark.slow
+class TestFullStudyParity:
+    def test_full_study_jobs1_vs_jobs4(self, fresh_memo, tmp_path, capsys):
+        serial = _run_cli(capsys, [
+            "study", "--scale", "small", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "serial")])
+        fresh_memo.clear()
+        pooled = _run_cli(capsys, [
+            "study", "--scale", "small", "--jobs", "4",
+            "--cache-dir", str(tmp_path / "pooled")])
+        assert pooled == serial

@@ -104,6 +104,85 @@ class TestFaultsJSONFlag:
         assert capsys.readouterr().out == first  # byte-stable for CI diffs
 
 
+def _tiny_config(seed: int = 5):
+    """A sub-100ms scenario: just enough to populate the result cache."""
+    from repro.workload import (
+        CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig,
+    )
+
+    return ScenarioConfig(
+        seed=seed,
+        duration_days=0.5,
+        population=PopulationConfig(n_peers=60),
+        demand=DemandConfig(total_downloads=50, duration_days=0.5),
+        catalog=CatalogConfig(objects_per_provider=6),
+    )
+
+
+class TestCacheCommand:
+    def test_ls_on_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "cache empty" in capsys.readouterr().out
+
+    def test_ls_verify_clear_roundtrip(self, tmp_path, capsys):
+        from repro.runner import Orchestrator, ResultCache
+
+        Orchestrator(cache=ResultCache(tmp_path)).run_many([_tiny_config()])
+
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert "ok: 1 entries verified" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "cache empty" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_and_exits_nonzero(self, tmp_path, capsys):
+        from repro.runner import Orchestrator, ResultCache
+
+        Orchestrator(cache=ResultCache(tmp_path)).run_many([_tiny_config()])
+        payload = next(tmp_path.rglob("*.pkl"))
+        blob = bytearray(payload.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        payload.write_bytes(bytes(blob))
+
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.err
+        assert "1 of 1 entries corrupt" in captured.out
+
+
+class TestFaultsAllFlag:
+    def test_all_runs_library_in_order_and_parallel_matches_serial(
+            self, monkeypatch, capsys):
+        import json
+
+        import repro.faults as faults_pkg
+        import repro.faults.scenarios as scenarios_module
+
+        # Trim the library to two scenarios so the drill matrix stays
+        # tier-1 cheap; the full 13-scenario run is CI's fault-smoke job.
+        subset = {name: scenarios_module.SCENARIOS[name]
+                  for name in ("dn_wipe", "cn_flap")}
+        monkeypatch.setattr(scenarios_module, "SCENARIOS", subset)
+        monkeypatch.setattr(faults_pkg, "SCENARIOS", subset)
+
+        base = ["faults", "--all", "--seed", "7", "--duration", "600",
+                "--json"]
+        assert main(base + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+
+        assert serial == pooled  # byte-identical at any pool width
+        data = json.loads(serial)
+        assert [d["scenario"] for d in data] == ["dn_wipe", "cn_flap"]
+
+
 class TestAuditCommand:
     def test_audit_drill_prints_report(self, capsys):
         args = ["audit", "--scenario", "dn_wipe", "--seed", "7",
