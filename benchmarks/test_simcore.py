@@ -46,8 +46,12 @@ RESULTS: dict[str, dict] = {}
 def _dump_results():
     yield
     if RESULTS:
+        merged: dict = {}
+        if BENCH_PATH.exists():  # other benchmark modules write here too
+            merged = json.loads(BENCH_PATH.read_text())
+        merged.update(RESULTS)
         BENCH_PATH.write_text(
-            json.dumps(RESULTS, indent=2, sort_keys=True) + "\n"
+            json.dumps(merged, indent=2, sort_keys=True) + "\n"
         )
         print(f"\nwrote {BENCH_PATH}")
 

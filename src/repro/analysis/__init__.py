@@ -14,6 +14,9 @@ from repro.analysis.guid_graphs import (
     figure12_pattern_census, mobility_summary,
 )
 from repro.analysis.logstore import LogStore
+from repro.analysis.qoe import (
+    peak_hour_transit, peak_transit_total, qoe_summary, streamed_records,
+)
 from repro.analysis.overview import (
     OverallStatistics, figure2_peer_distribution, table1_overall_statistics,
     table2_provider_regions,
@@ -63,6 +66,8 @@ __all__ = [
     "figure11_pair_balance", "heavy_uploader_ases", "locality_shares",
     "MobilitySummary", "mobility_summary",
     "build_secondary_guid_graphs", "classify_graph", "figure12_pattern_census",
+    "qoe_summary", "streamed_records", "peak_hour_transit",
+    "peak_transit_total",
     "cdf_points", "percentile", "mean", "log_bins", "bin_index",
     "weighted_fraction", "gini",
     "render_table", "render_series", "render_comparison", "pct", "human_bytes",

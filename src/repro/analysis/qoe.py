@@ -1,0 +1,142 @@
+"""Streaming QoE and ISP-impact analyses for the VoD workload.
+
+Consumes only the control-plane trace (download records carry the QoE
+fields when the session was a stream) plus the geo database — the same
+log-driven discipline as every other analysis in this package.
+
+Two question families:
+
+* **QoE** — startup-delay percentiles, rebuffer ratio (stall time over
+  watch time, the standard streaming-QoE quantity), abandonment, and how
+  much of the stream bytes the peers carried (:func:`qoe_summary`);
+* **ISP impact** — what each serving policy does to inter-AS transit *at
+  the hour that matters*: :func:`peak_hour_transit` reconstructs per-AS
+  hourly inter-AS upload volumes and reports each AS's busiest hour, the
+  quantity an ISP provisions (and bills peering) against.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+
+from repro.analysis.logstore import LogStore
+from repro.analysis.stats import percentile
+from repro.net.geo import GeoDatabase
+
+__all__ = ["streamed_records", "qoe_summary", "peak_hour_transit",
+           "peak_transit_total"]
+
+_HOUR = 3600.0
+
+
+def streamed_records(logs: LogStore) -> list:
+    """The download records that were streaming sessions, in log order."""
+    return [rec for rec in logs.downloads if rec.streamed]
+
+
+def qoe_summary(logs: LogStore) -> dict[str, float]:
+    """Aggregate streaming QoE over a trace.
+
+    Returns a flat dict (zeros when the trace has no streams):
+
+    * ``sessions`` — streaming sessions recorded;
+    * ``startup_p50`` / ``startup_p90`` — startup-delay percentiles in
+      seconds, over the sessions whose playback started;
+    * ``never_started`` — fraction whose playback never began;
+    * ``rebuffer_ratio`` — total stall seconds / (stall + watch seconds),
+      watch time being the played fraction of each video's runtime;
+    * ``rebuffers_per_session`` — mean stall count;
+    * ``abandoned`` — fraction of sessions the viewer aborted;
+    * ``peer_offload`` — fraction of stream bytes served by peers.
+    """
+    records = streamed_records(logs)
+    if not records:
+        return {
+            "sessions": 0.0, "startup_p50": 0.0, "startup_p90": 0.0,
+            "never_started": 0.0, "rebuffer_ratio": 0.0,
+            "rebuffers_per_session": 0.0, "abandoned": 0.0,
+            "peer_offload": 0.0,
+        }
+    startups = [r.startup_delay for r in records if r.startup_delay is not None]
+    stall_time = sum(r.rebuffer_time for r in records)
+    watch_time = sum(
+        r.watched_fraction * (r.size / r.bitrate)
+        for r in records if r.bitrate > 0
+    )
+    peer_bytes = sum(r.peer_bytes for r in records)
+    total_bytes = sum(r.total_bytes for r in records)
+    aborted = sum(1 for r in records if r.outcome == "aborted")
+    n = len(records)
+    return {
+        "sessions": float(n),
+        "startup_p50": percentile(startups, 50.0) if startups else 0.0,
+        "startup_p90": percentile(startups, 90.0) if startups else 0.0,
+        "never_started": (n - len(startups)) / n,
+        "rebuffer_ratio": (
+            stall_time / (stall_time + watch_time)
+            if stall_time + watch_time > 0 else 0.0
+        ),
+        "rebuffers_per_session": sum(r.rebuffer_events for r in records) / n,
+        "abandoned": aborted / n,
+        "peer_offload": peer_bytes / total_bytes if total_bytes else 0.0,
+    }
+
+
+def peak_hour_transit(
+    logs: LogStore,
+    geodb: GeoDatabase,
+    *,
+    streamed_only: bool = True,
+) -> dict[int, float]:
+    """Each AS's busiest-hour inter-AS upload volume, in bytes.
+
+    Reconstructs per-AS hourly transit the way an ISP's billing system
+    would: every peer-served byte is attributed to the uploader's AS (via
+    the login-record IP join the §6.1 analyses use), spread uniformly over
+    the transfer's duration, and bucketed into wall-clock hours; the
+    returned value per AS is the maximum hourly total.  Intra-AS bytes
+    never count — they ride the ISP's own network.
+    """
+    login_index: dict[str, tuple[list[float], list[str]]] = {}
+    for guid, logins in logs.logins_by_guid().items():
+        login_index[guid] = ([l.timestamp for l in logins],
+                             [l.ip for l in logins])
+
+    def asn_of(guid: str, when: float) -> int | None:
+        entry = login_index.get(guid)
+        if entry is None:
+            return None
+        times, ips = entry
+        idx = max(0, bisect.bisect_right(times, when) - 1)
+        geo = geodb.get(ips[idx])
+        return geo.asn if geo is not None else None
+
+    hourly: dict[int, dict[int, float]] = defaultdict(lambda: defaultdict(float))
+    for rec in logs.downloads:
+        if streamed_only and not rec.streamed:
+            continue
+        if not rec.per_uploader_bytes:
+            continue
+        geo_down = geodb.get(rec.ip)
+        if geo_down is None:
+            continue
+        as_to = geo_down.asn
+        start, end = rec.started_at, max(rec.ended_at, rec.started_at + 1.0)
+        span = end - start
+        first, last = int(start // _HOUR), int((end - 1e-9) // _HOUR)
+        for uploader_guid, nbytes in rec.per_uploader_bytes.items():
+            as_from = asn_of(uploader_guid, rec.ended_at)
+            if as_from is None or as_from == as_to:
+                continue
+            for hour in range(first, last + 1):
+                lo = max(start, hour * _HOUR)
+                hi = min(end, (hour + 1) * _HOUR)
+                if hi > lo:
+                    hourly[as_from][hour] += nbytes * (hi - lo) / span
+    return {asn: max(buckets.values()) for asn, buckets in hourly.items()}
+
+
+def peak_transit_total(per_as: dict[int, float]) -> float:
+    """Fleet-wide peak-hour transit: the sum of every AS's busiest hour."""
+    return float(sum(per_as.values()))

@@ -64,6 +64,20 @@ class DownloadRecord:
     #: True when the download was started by the predictive-placement
     #: policy rather than a user (the extension NetSession lacks; §5.2).
     prefetch: bool = False
+    #: True when the session was a streaming playback (``repro.vod``); the
+    #: QoE fields below are only meaningful then.
+    streamed: bool = False
+    #: Seconds from request to first frame; None if playback never started.
+    startup_delay: float | None = None
+    #: Mid-stream stalls and total stall seconds over the transfer.
+    rebuffer_events: int = 0
+    rebuffer_time: float = 0.0
+    #: Playhead position as a fraction of the video when the transfer
+    #: ended (final for aborted sessions; a lower bound for completed
+    #: transfers whose playback was still running).
+    watched_fraction: float = 0.0
+    #: Video consumption rate in bytes/second (0 for plain downloads).
+    bitrate: float = 0.0
 
     @property
     def total_bytes(self) -> int:

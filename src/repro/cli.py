@@ -24,6 +24,13 @@ Commands
     deterministic: the same ``--scenario``/``--seed`` pair prints
     byte-identical output on every run — and the same bytes again from a
     pool worker.
+``vod``
+    Run the VoD serving-policy sweep (``exp_vod_policies``): the catch-up-TV
+    streaming workload under every serving policy plus the infra-only
+    baseline.  Takes the same ``--jobs``/``--cache-dir``/``--no-cache``
+    flags as ``run`` (scenarios fan out across the pool, the table renders
+    serially, so stdout is byte-identical for every job count);
+    ``--json`` emits the metrics as JSON for CI artifacts.
 ``perf``
     Run the standard scenario once and print the simulator/allocation
     counters (:class:`~repro.core.system.SystemStats`); with ``--profile``,
@@ -52,6 +59,7 @@ Examples
     python -m repro trace --out ./trace --scale small
     python -m repro faults --scenario control_plane_blackout --seed 42
     python -m repro faults --all --jobs 4
+    python -m repro vod --scale small --jobs 2 --json
     python -m repro perf --scale small --profile
     python -m repro audit --scale small
     python -m repro audit --scenario rolling_upgrade --strict
@@ -160,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "library order")
     faults.add_argument("--json", action="store_true", dest="json_report",
                         help="emit the drill report as JSON (for CI artifacts)")
+
+    vod = sub.add_parser(
+        "vod", help="run the VoD serving-policy sweep (QoE vs ISP transit)"
+    )
+    _add_scale(vod)
+    _add_runner_opts(vod)
+    vod.add_argument("--json", action="store_true", dest="json_report",
+                     help="emit the policy metrics as JSON (for CI artifacts)")
 
     perf = sub.add_parser(
         "perf", help="run the standard scenario and print perf counters"
@@ -396,6 +412,34 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _run_vod(args) -> int:
+    from repro.experiments import planned_configs
+    from repro.experiments.common import configure_runner, prefetch
+    from repro.experiments.exp_vod_policies import run
+    from repro.runner import default_jobs
+
+    configure_runner(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        cache=_resolve_cache(args),
+    )
+    # Same discipline as ``run``: fan the per-policy scenarios out across
+    # the pool, then render serially — stdout is byte-identical for every
+    # --jobs value, and timing goes to stderr.
+    started = time.time()
+    prefetch(planned_configs("exp_vod_policies", args.scale, args.seed))
+    output = run(args.scale, args.seed)
+    if args.json_report:
+        print(json.dumps(
+            {"name": output.name, "scale": args.scale, "seed": args.seed,
+             "metrics": output.metrics},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(output.text)
+    print(f"# vod: {time.time() - started:.1f}s", file=sys.stderr)
+    return 0
+
+
 def _run_cache(args) -> int:
     from repro.runner import ResultCache
 
@@ -455,6 +499,9 @@ def main(argv: list[str] | None = None) -> int:
         return _run_experiments(list(ALL_EXPERIMENTS), args.scale, args.seed,
                                 perf=args.perf, jobs=args.jobs,
                                 cache=_resolve_cache(args))
+
+    if args.command == "vod":
+        return _run_vod(args)
 
     if args.command == "perf":
         return _run_perf(args.scale, args.seed,

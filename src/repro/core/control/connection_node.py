@@ -69,6 +69,10 @@ class ConnectionNode:
         #: registrations from remote regions (§3.7: the CN/DN system is
         #: interconnected, so cross-region search is possible).
         self.remote_lookup = None
+        #: Optional serving policy (see :mod:`repro.vod.policy`): filters
+        #: candidates and can veto cross-region widening for the cids it
+        #: governs.  None (the default) changes nothing.
+        self.serving_policy = None
         #: Candidates returned on the *first* query per (guid, cid) — feeds
         #: the Figure 6 field of the download record.
         self.first_query_counts: dict[tuple[str, str], int] = {}
@@ -180,10 +184,14 @@ class ConnectionNode:
         # With locality disabled (ablation), the structural level is ablated
         # too: candidates always come from the whole interconnected CN/DN
         # system, not just the local region.
+        policy = self.serving_policy
         threshold = self.config.remote_search_threshold
         widen = (
             (threshold > 0 and len(pool) < threshold) or not self.locality_aware
         )
+        if widen and policy is not None and not policy.allow_widening(
+                context, cid):
+            widen = False  # e.g. isp_local: remote regions stay closed
         if widen and self.remote_lookup is not None:
             pool = pool + self.remote_lookup(cid, self.network_region)
         selected = select_peers(
@@ -194,6 +202,7 @@ class ConnectionNode:
             exclude=exclude,
             diversity_probability=self.config.diversity_probability,
             locality_aware=self.locality_aware,
+            candidate_filter=policy.admits if policy is not None else None,
         )
         for reg in selected:
             dn.rotate_to_end(cid, reg.guid)

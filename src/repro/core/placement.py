@@ -77,8 +77,18 @@ class PredictivePlacer:
 
     # --------------------------------------------------------------- policy
 
+    def _should_run(self) -> bool:
+        """Policy hook: may this evaluation act now?
+
+        The base placer always runs; subclasses gate it (e.g. the VoD
+        off-peak placer only pushes during the demand trough).
+        """
+        return True
+
     def tick(self) -> int:
         """One evaluation: find deficits, start prefetches.  Returns count."""
+        if not self._should_run():
+            return 0
         cfg = self.config
         demand = Counter(
             rec.cid for rec in self.system.logstore.downloads

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.nat import NATType, can_connect
 
@@ -74,6 +74,8 @@ def select_peers(
     exclude: frozenset[str] = frozenset(),
     diversity_probability: float = 0.10,
     locality_aware: bool = True,
+    candidate_filter: Optional[
+        Callable[[QueryContext, "PeerRegistration"], bool]] = None,
 ) -> list["PeerRegistration"]:
     """Choose up to ``count`` candidates for ``query`` from ``registrations``.
 
@@ -82,6 +84,12 @@ def select_peers(
     rotate-to-end fairness effective.  With ``locality_aware=False`` the
     nested-set logic is bypassed and candidates are drawn uniformly — the
     ablation baseline for the §6.1 locality claims.
+
+    ``candidate_filter`` is the serving-policy hook (see
+    :mod:`repro.vod.policy`): when given, a registration is only eligible
+    if ``candidate_filter(query, reg)`` is true.  The filter runs before
+    any RNG is consulted, so a pass-everything filter (or None) leaves the
+    selection — and its random draws — bit-identical.
     """
     if count <= 0:
         return []
@@ -96,6 +104,8 @@ def select_peers(
         if reg.guid == query.guid or reg.guid in exclude:
             continue
         if not reg.uploads_enabled:
+            continue
+        if candidate_filter is not None and not candidate_filter(query, reg):
             continue
         try:
             peer_nat = NATType(reg.nat_reported)

@@ -87,6 +87,7 @@ class StreamingSession(DownloadSession):
             self._tick_event = self.system.sim.every(
                 self.playback_tick_s, self._playback_tick
             )
+            self.system.vod.streams_started += 1
 
     # -------------------------------------------------- in-order scheduling
 
@@ -107,7 +108,13 @@ class StreamingSession(DownloadSession):
             batch, self.piece_pool = (self.piece_pool[:limit],
                                       self.piece_pool[limit:])
             return Chunk(batch)
-        window = URGENT_WINDOW_PIECES
+        # End-of-file tail shrink: with fewer than 2x the urgent window
+        # left, a full-size reservation would return None to every peer and
+        # starve the swarm for the whole tail — the edge would serve the
+        # end of each stream alone.  Shrink the reserved window to at most
+        # half the remaining pool so peers keep working the tail (the edge
+        # can still steal the head back via the urgency path).
+        window = min(URGENT_WINDOW_PIECES, len(self.piece_pool) // 2)
         if len(self.piece_pool) <= window:
             return None  # tail is the edge's job
         batch = self.piece_pool[window:window + PEER_BATCH_PIECES]
@@ -246,7 +253,9 @@ class StreamingSession(DownloadSession):
                 if self.playback_started_at is None:
                     self.playback_started_at = now
                 if self._stall_since is not None:
-                    self.rebuffer_time += now - self._stall_since
+                    stalled = now - self._stall_since
+                    self.rebuffer_time += stalled
+                    self.system.vod.rebuffer_seconds += stalled
                     self._stall_since = None
             return
 
@@ -257,17 +266,49 @@ class StreamingSession(DownloadSession):
         if self.played_bytes >= self.obj.size - 0.5:
             self.played_bytes = float(self.obj.size)
             self.playback_finished_at = now
+            self.system.vod.playbacks_finished += 1
             self._stop_clock()
         elif available < budget:
             # Stall mid-video: played out the prefix, now rebuffering.
             self.playing = False
             self.rebuffer_events += 1
+            self.system.vod.rebuffer_events += 1
             self._stall_since = now
 
     def _stop_clock(self) -> None:
         if self._tick_event is not None:
             self._tick_event.cancel()
             self._tick_event = None
+
+    # --------------------------------------------------------- viewer actions
+
+    def skip_ahead(self, seconds: float) -> None:
+        """Viewer seek: jump the playhead up to ``seconds`` of video ahead.
+
+        Seeking past the contiguous prefix drops the player into a rebuffer
+        at the new position (the in-order pool catches up naturally).  The
+        playhead never lands inside the final second of the video, so a
+        seeked session still finishes through the normal tick path.
+        """
+        if seconds <= 0 or self.playback_finished_at is not None:
+            return
+        ceiling = float(self.obj.size) - self.bitrate * self.playback_tick_s
+        target = min(self.played_bytes + seconds * self.bitrate, ceiling)
+        if target > self.played_bytes:
+            self.played_bytes = target
+
+    def stop_playback(self) -> None:
+        """Viewer closes the player without cancelling the transfer.
+
+        A partial watch after the download already completed: aborting the
+        session would be a no-op (the state is terminal), so the playback
+        clock is stopped directly and the session never counts as finished.
+        """
+        if self.playback_finished_at is not None:
+            return
+        self.playing = False
+        self._stall_since = None
+        self._stop_clock()
 
     # --------------------------------------------------------------- metrics
 
@@ -277,6 +318,25 @@ class StreamingSession(DownloadSession):
         if self.playback_started_at is None:
             return None
         return self.playback_started_at - self.started_at
+
+    def _record_extras(self) -> dict:
+        """Streaming QoE fields for the CN-side download record.
+
+        Written when the *transfer* ends; stalls can only begin while the
+        transfer is live (a complete prefix never drains), so the rebuffer
+        totals are final up to a stall still resolving at record time.
+        ``watched_fraction`` is the playhead position at record time —
+        final for aborted sessions, a lower bound for completed downloads
+        whose playback is still running.
+        """
+        return {
+            "streamed": True,
+            "startup_delay": self.startup_delay,
+            "rebuffer_events": self.rebuffer_events,
+            "rebuffer_time": self.rebuffer_time,
+            "watched_fraction": min(1.0, self.played_bytes / self.obj.size),
+            "bitrate": self.bitrate,
+        }
 
     def qoe_report(self) -> dict[str, float]:
         """The streaming QoE summary."""

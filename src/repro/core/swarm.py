@@ -710,6 +710,15 @@ class DownloadSession:
         self.peer.session_finished(self)
         self._report()
 
+    def _record_extras(self) -> dict:
+        """Extra :class:`DownloadRecord` fields contributed by subclasses.
+
+        The streaming session overrides this to attach its QoE fields;
+        plain downloads contribute nothing, so the record (and everything
+        fingerprinted or rendered from it) is unchanged.
+        """
+        return {}
+
     def _report(self) -> None:
         """Upload the usage report and write the CN-side download record."""
         claimed_edge = self.edge_bytes
@@ -750,6 +759,7 @@ class DownloadSession:
             per_uploader_bytes=dict(self.per_uploader_bytes),
             corrupted_bytes=self.corrupted_bytes,
             prefetch=self.is_prefetch,
+            **self._record_extras(),
         )
         # Through the channel: lossy/retrying when configured, failing over
         # past a dead CN, and deferring to the accounting log when no CN is

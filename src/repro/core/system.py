@@ -46,7 +46,76 @@ from repro.net.nat import NATModel
 from repro.net.sim import Simulator
 from repro.net.topology import ASTopology, build_topology
 
-__all__ = ["NetSessionSystem", "SystemStats"]
+__all__ = ["NetSessionSystem", "SystemStats", "VodCounters", "VodStats"]
+
+
+@dataclass(frozen=True)
+class VodStats:
+    """Streaming-side counters (zeros whenever no VoD workload ran).
+
+    Defined here rather than in :mod:`repro.vod` so the core system (and
+    the pickled scenario artifacts that embed :class:`SystemStats`) never
+    depend on the VoD package.
+    """
+
+    #: Viewing sessions whose playback clock was armed.
+    streams_started: int = 0
+    #: Sessions whose playback reached the end of the episode.
+    playbacks_finished: int = 0
+    #: Mid-stream stalls across all sessions.
+    rebuffer_events: int = 0
+    #: Total stall time across all sessions, seconds.
+    rebuffer_seconds: float = 0.0
+    #: Candidates a serving policy refused to return (e.g. cross-AS peers
+    #: under ``isp_local``).
+    policy_filtered: int = 0
+    #: Prefetch downloads the off-peak placer started.
+    prefetches_pushed: int = 0
+    #: Pre-trace cache copies planted by ``popularity_seeding``.
+    copies_seeded: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "streams_started": self.streams_started,
+            "playbacks_finished": self.playbacks_finished,
+            "rebuffer_events": self.rebuffer_events,
+            "rebuffer_seconds": round(self.rebuffer_seconds, 1),
+            "policy_filtered": self.policy_filtered,
+            "prefetches_pushed": self.prefetches_pushed,
+            "copies_seeded": self.copies_seeded,
+        }
+
+
+class VodCounters:
+    """Mutable accumulator behind :class:`VodStats`.
+
+    The streaming engine and the serving policies increment these as the
+    run progresses; :meth:`NetSessionSystem.stats` snapshots them.
+    """
+
+    __slots__ = ("streams_started", "playbacks_finished", "rebuffer_events",
+                 "rebuffer_seconds", "policy_filtered", "prefetches_pushed",
+                 "copies_seeded")
+
+    def __init__(self):
+        self.streams_started = 0
+        self.playbacks_finished = 0
+        self.rebuffer_events = 0
+        self.rebuffer_seconds = 0.0
+        self.policy_filtered = 0
+        self.prefetches_pushed = 0
+        self.copies_seeded = 0
+
+    def snapshot(self) -> VodStats:
+        return VodStats(
+            streams_started=self.streams_started,
+            playbacks_finished=self.playbacks_finished,
+            rebuffer_events=self.rebuffer_events,
+            rebuffer_seconds=self.rebuffer_seconds,
+            policy_filtered=self.policy_filtered,
+            prefetches_pushed=self.prefetches_pushed,
+            copies_seeded=self.copies_seeded,
+        )
 
 
 @dataclass(frozen=True)
@@ -79,6 +148,9 @@ class SystemStats:
     channel: ControlChannelStats
     #: Invariant-audit counters (see :class:`InvariantStats`).
     invariants: InvariantStats
+    #: Streaming/serving-policy counters (see :class:`VodStats`); all zero
+    #: unless the scenario attached a VoD workload.
+    vod: VodStats = VodStats()
 
     def as_dict(self) -> dict[str, float]:
         """Flat key/value view for tables and JSON (flow_*/ctrl_* prefixed)."""
@@ -100,6 +172,8 @@ class SystemStats:
             out[f"ctrl_{key}"] = value
         for key, value in self.invariants.as_dict().items():
             out[f"inv_{key}"] = value
+        for key, value in self.vod.as_dict().items():
+            out[f"vod_{key}"] = value
         return out
 
 
@@ -152,6 +226,9 @@ class NetSessionSystem:
         self.all_peers: list[PeerNode] = []
         self.peer_by_guid: dict[str, PeerNode] = {}
         self.providers: dict[int, ContentProvider] = {}
+        #: Streaming/serving-policy accumulator (stays all-zero unless a
+        #: VoD workload is attached; see :mod:`repro.vod`).
+        self.vod = VodCounters()
 
         #: The sanitizer layer (see :mod:`repro.invariants`).  Constructed
         #: last so its checkers can observe every subsystem above.
@@ -278,6 +355,7 @@ class NetSessionSystem:
             flows=self.flows.stats.snapshot(),
             channel=self.channel_stats.snapshot(),
             invariants=self.auditor.stats(),
+            vod=self.vod.snapshot(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -71,6 +71,12 @@ class FuzzSpec:
     pause_resume_events: int = 0
     #: Sampled-audit cadence; fuzz runs are small, so audit often.
     every_events: int = 500
+    #: VoD streaming sessions layered on top of the download workload
+    #: (0 keeps the run identical to a pre-VoD fuzzer: no video object is
+    #: published and no extra RNG is consumed at run time).
+    vod_streams: int = 0
+    #: Serving policy installed for the video cid, or None for no policy.
+    vod_policy: Optional[str] = None
 
     def label(self) -> str:
         """Compact identifier for logs and test ids."""
@@ -124,6 +130,12 @@ def generate(seed: int) -> FuzzSpec:
         edge_egress_mbps=rng.choice((None, None, 500.0, 2000.0)),
         churn_events=rng.randint(0, 6),
         pause_resume_events=rng.randint(0, 6),
+        # VoD draws come last: every pre-VoD field above keeps the exact
+        # value the same seed produced before streaming was fuzzable.
+        vod_streams=rng.choice((0, 0, 0, 2, 4)),
+        vod_policy=rng.choice(
+            (None, "unrestricted", "isp_local", "popularity_seeding")
+        ),
     )
 
 
@@ -160,12 +172,28 @@ def run_spec(spec: FuzzSpec) -> FuzzResult:
             ))
             system.publish(objects[-1])
 
+        # The optional VoD layer: a dedicated video object, seeded into half
+        # the seeders *before* they boot (so the copies register with the
+        # control plane at login).  With vod_streams == 0 this whole layer —
+        # object, caches, policy, streams — does not exist and the run is
+        # bit-identical to a download-only fuzz.
+        video = None
+        if spec.vod_streams > 0:
+            video = ContentObject(
+                "fuzzco/video-0.mp4", 24 * MB, provider, p2p_enabled=True,
+            )
+            system.publish(video)
+
         country = system.world.by_code["DE"]
+        seeders = []
         for _ in range(spec.n_seeders):
             seeder = system.create_peer(country=country, uploads_enabled=True)
             for obj in objects:
                 seeder.cache[obj.cid] = CacheEntry(obj.cid, completed_at=0.0)
+            if video is not None and len(seeders) % 2 == 0:
+                seeder.cache[video.cid] = CacheEntry(video.cid, completed_at=0.0)
             seeder.boot()
+            seeders.append(seeder)
 
         downloaders = []
         horizon = spec.duration_hours * 3600.0
@@ -208,6 +236,31 @@ def run_spec(spec: FuzzSpec) -> FuzzResult:
             system.sim.schedule_at(
                 rng.uniform(0.2, 0.8) * horizon,
                 lambda p=victim: p.online and pause_resume(p))
+
+        # VoD streams go last, so the vod_streams == 0 case consumes no
+        # extra draws from the run RNG anywhere above.
+        if spec.vod_streams > 0:
+            from repro.core.streaming import start_streaming
+
+            if spec.vod_policy is not None:
+                from repro.vod.policy import make_policy
+
+                policy = make_policy(
+                    spec.vod_policy, frozenset({video.cid}),
+                    counters=system.vod,
+                )
+                policy.install(system)
+            bitrate = 48 * 1024  # bytes/s: the 24 MB video plays in ~8 min
+            for i in range(spec.vod_streams):
+                viewer = downloaders[i % len(downloaders)]
+                system.sim.schedule_at(
+                    rng.uniform(60.0, 0.5 * horizon),
+                    lambda p=viewer, o=video: (
+                        p.online
+                        and o.cid not in p.sessions
+                        and start_streaming(p, o, bitrate=bitrate)
+                    ),
+                )
 
         system.run(until=horizon)
         system.finalize_open_downloads()
@@ -254,6 +307,10 @@ def _candidates(spec: FuzzSpec) -> list[FuzzSpec]:
     out: list[FuzzSpec] = []
     if spec.fault_scenario is not None:
         out.append(replace(spec, fault_scenario=None))
+    if spec.vod_streams:
+        out.append(replace(spec, vod_streams=0, vod_policy=None))
+    if spec.vod_policy is not None:
+        out.append(replace(spec, vod_policy=None))
     if spec.churn_events:
         out.append(replace(spec, churn_events=0))
     if spec.pause_resume_events:

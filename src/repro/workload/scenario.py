@@ -30,6 +30,7 @@ from repro.workload.behavior import BehaviorConfig, UserBehavior
 from repro.workload.catalog import Catalog, CatalogConfig, build_catalog
 from repro.workload.cloning import CloningConfig, CloningModel
 from repro.workload.demand import DemandConfig, DemandGenerator
+from repro.vod.config import VodConfig
 from repro.workload.mobility import MobilityConfig, MobilityModel
 from repro.workload.population import DAY, Population, PopulationConfig, build_population
 
@@ -67,6 +68,11 @@ class ScenarioConfig:
     #: from their own seeded RNGs, so adding one does not perturb the
     #: workload's random streams.
     faults: tuple[FaultSpec, ...] = ()
+    #: VoD streaming workload and serving policy (see :mod:`repro.vod`).
+    #: None (the default) attaches nothing: no VoD catalog is published, no
+    #: policy installed, and no RNG stream touched, so every pre-existing
+    #: scenario runs bit-identically.
+    vod: VodConfig | None = None
     #: Warm start: expected number of pre-trace cached copies per peer.  The
     #: paper's October 2012 window opens on a five-year-old deployment whose
     #: peers already hold popular content; a cold start would understate
@@ -96,6 +102,9 @@ class ScenarioResult:
     #: The fault injector, when the config scheduled faults (else None);
     #: exposes the injection timeline and the §3.8 recovery gauges.
     injector: FaultInjector | None = None
+    #: The VoD attachment, when the config enabled streaming (else None);
+    #: see :class:`repro.vod.engine.VodRuntime`.
+    vod_runtime: object | None = None
 
     @property
     def logstore(self) -> LogStore:
@@ -225,6 +234,18 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
         placer = PredictivePlacer(system, catalog.objects)
         placer.start()
 
+    vod_runtime = None
+    if cfg.vod is not None:
+        # Attached last, so the download workload above is fully scheduled
+        # before any VoD draw happens; the engine uses only string-seeded
+        # RNGs, keeping the streams independent either way.
+        from repro.vod.engine import attach_vod
+
+        vod_runtime = attach_vod(
+            system, population, cfg.vod,
+            seed=cfg.seed, duration_days=cfg.duration_days,
+        )
+
     system.run(until=cfg.duration_days * DAY)
     finalized = system.finalize_open_downloads()
     # End-of-run audit: the reconciliation checkers need the finalized logs.
@@ -241,4 +262,5 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
         cloning_census=cloning_census,
         finalized_downloads=finalized,
         injector=injector,
+        vod_runtime=vod_runtime,
     )

@@ -118,6 +118,103 @@ class TestPlayback:
         assert session.contiguous_bytes() == expected
 
 
+class TestTailScheduling:
+    """Regression: end-of-file urgency starvation.
+
+    The urgent window used to be a fixed-size head reservation; once the
+    pool shrank to the window size every peer connection was refused work
+    (``take_chunk`` returned None) and the edge served the whole tail
+    alone.  The window now shrinks with the pool.
+    """
+
+    def _session_with_pool(self, system, video, pool):
+        viewer = system.create_peer()
+        viewer.boot()
+        session = StreamingSession(system, viewer, video, bitrate=3 * MBIT)
+        session.piece_pool = list(pool)
+        return session
+
+    def test_peers_still_get_work_in_the_tail(self, system, video):
+        system.publish(video)
+        session = self._session_with_pool(system, video, [10, 11, 12, 13])
+        chunk = session.take_chunk(object())  # any non-edge connection
+        assert chunk is not None, "tail-sized pool starved the peer"
+        # The shrunken window still reserves the head for the edge.
+        assert 10 not in chunk.pieces
+        assert 10 in session.piece_pool
+
+    def test_full_pool_keeps_the_full_urgent_window(self, system, video):
+        from repro.core.streaming import URGENT_WINDOW_PIECES
+
+        system.publish(video)
+        pool = list(range(20))
+        session = self._session_with_pool(system, video, pool)
+        chunk = session.take_chunk(object())
+        assert chunk is not None
+        assert min(chunk.pieces) == URGENT_WINDOW_PIECES
+
+    def test_last_piece_is_still_reachable(self, system, video):
+        system.publish(video)
+        session = self._session_with_pool(system, video, [99])
+        chunk = session.take_chunk(object())
+        assert chunk is not None and list(chunk.pieces) == [99]
+
+
+class TestViewerActions:
+    def test_skip_ahead_moves_the_playhead(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=120.0)
+        before = session.played_bytes
+        session.skip_ahead(60.0)
+        assert session.played_bytes >= before
+        system.run(until=4 * HOUR)
+        assert session.qoe_report()["finished"] == 1.0
+
+    def test_skip_ahead_never_lands_on_the_end(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=60.0)
+        session.skip_ahead(1e9)
+        assert session.played_bytes < video.size
+        system.run(until=4 * HOUR)
+        assert session.qoe_report()["finished"] == 1.0
+
+    def test_stop_playback_freezes_the_session(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=120.0)
+        session.stop_playback()
+        played = session.played_bytes
+        system.run(until=4 * HOUR)
+        assert session.played_bytes == played
+        assert session.playback_finished_at is None
+
+
+class TestVodCounters:
+    def test_system_counters_track_sessions(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        start_streaming(viewer, video, bitrate=3 * MBIT)
+        assert system.vod.streams_started == 1
+        system.run(until=4 * HOUR)
+        stats = system.stats().vod
+        assert stats.streams_started == 1
+        assert stats.playbacks_finished == 1
+
+    def test_streamed_download_record_carries_qoe(self, system, video):
+        seeders, viewer = make_swarm_scene(system, video)
+        session = start_streaming(viewer, video, bitrate=3 * MBIT)
+        system.run(until=4 * HOUR)
+        recs = [r for r in system.logstore.downloads if r.streamed]
+        assert len(recs) == 1
+        rec = recs[0]
+        assert rec.bitrate == session.bitrate
+        assert rec.startup_delay == session.startup_delay
+        plain = [r for r in system.logstore.downloads if not r.streamed]
+        for r in plain:
+            assert r.bitrate == 0.0 and r.startup_delay is None
+
+
 class TestStreamingResilience:
     def test_stream_survives_seeder_churn(self, system, video):
         seeders, viewer = make_swarm_scene(system, video)

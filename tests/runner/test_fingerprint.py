@@ -14,6 +14,7 @@ import dataclasses
 import pytest
 
 from repro.faults.scenarios import build_scenario
+from repro.vod import VodConfig
 from repro.runner import (
     CACHE_SCHEMA_VERSION, cache_namespace, canonicalize, code_fingerprint,
     fingerprint_config,
@@ -42,6 +43,8 @@ def _candidates(value, name):
                             0.123, 0.5) if c != value]
     if isinstance(value, str):
         return [value + "x"]
+    if name == "vod":  # Optional[VodConfig]; None means "no streaming layer"
+        return [VodConfig()]
     if value is None:  # Optional[float] knobs (egress caps, overrides)
         return [0.5]
     if isinstance(value, dict):  # e.g. DemandConfig.region_tz
@@ -113,6 +116,32 @@ def test_integral_floats_collapse_to_ints():
     a = tiny_config(duration_days=1.0)
     b = tiny_config(duration_days=1)
     assert fingerprint_config(a) == fingerprint_config(b)
+
+
+def test_vod_none_and_default_vod_do_not_collide():
+    # The streaming layer is itself a cache key: attaching even an
+    # all-defaults VodConfig must land in a different slot than None.
+    base = tiny_config()
+    with_vod = dataclasses.replace(base, vod=VodConfig())
+    assert fingerprint_config(base) != fingerprint_config(with_vod)
+
+
+def test_every_vod_knob_is_a_cache_key():
+    # Same contract as the whole-tree sweep, scoped to the VodConfig
+    # subtree (the top-level sweep can't reach it: the default is None).
+    base = dataclasses.replace(tiny_config(), vod=VodConfig())
+    base_fp = fingerprint_config(base)
+    seen = {base_fp}
+    count = 0
+    for name, mutant in _dataclass_mutations(base):
+        if not name.startswith("vod."):
+            continue
+        fp = fingerprint_config(mutant)
+        assert fp != base_fp, f"mutating {name!r} did not change the fingerprint"
+        seen.add(fp)
+        count += 1
+    assert count >= 15, f"vod sweep only covered {count} leaf fields"
+    assert len(seen) == count + 1, "two distinct vod mutations collided"
 
 
 def test_distinct_configs_same_scale_and_seed_do_not_collide():

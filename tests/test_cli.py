@@ -183,6 +183,46 @@ class TestFaultsAllFlag:
         assert [d["scenario"] for d in data] == ["dn_wipe", "cn_flap"]
 
 
+class TestVodCommand:
+    def test_parser_accepts_the_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["vod", "--scale", "small", "--seed", "7", "--jobs", "2",
+             "--json"])
+        assert args.command == "vod"
+        assert args.scale == "small"
+        assert args.seed == 7
+        assert args.jobs == 2
+        assert args.json_report
+
+    def test_vod_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["vod", "--scale", "galactic"])
+
+    @pytest.mark.slow
+    def test_json_report_is_byte_stable_across_pool_widths(
+            self, tmp_path, capsys, monkeypatch):
+        import json
+
+        import repro.experiments.common as common
+        from repro.runner import Orchestrator
+
+        def cold_run(jobs, cache):
+            # Own empty memo per run: --jobs must not lean on leftovers.
+            memo: dict = {}
+            monkeypatch.setattr(common, "_ARTIFACTS", memo)
+            monkeypatch.setattr(common, "_RUNNER", Orchestrator(memory=memo))
+            assert main(["vod", "--scale", "small", "--jobs", str(jobs),
+                         "--json", "--cache-dir", str(tmp_path / cache)]) == 0
+            return capsys.readouterr().out
+
+        serial = cold_run(1, "serial")
+        pooled = cold_run(4, "pooled")
+        assert pooled == serial
+        report = json.loads(serial)
+        assert report["name"] == "vod_policies"
+        assert report["metrics"]["unrestricted_peak_transit_bytes"] > 0
+
+
 class TestAuditCommand:
     def test_audit_drill_prints_report(self, capsys):
         args = ["audit", "--scenario", "dn_wipe", "--seed", "7",

@@ -18,7 +18,8 @@ from repro.experiments.common import standard_result
 #: benchmark suite; too slow to repeat here).
 HEAVY = {"exp_baselines", "exp_ablation_locality", "exp_ablation_backstop",
          "exp_ablation_prefetch", "exp_fig5", "exp_lan_updates",
-         "exp_mobility", "exp_fig12", "exp_fault_matrix"}
+         "exp_mobility", "exp_fig12", "exp_fault_matrix",
+         "exp_vod_policies"}
 
 LIGHT = [name for name in ALL_EXPERIMENTS if name not in HEAVY]
 

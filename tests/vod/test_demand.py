@@ -1,0 +1,113 @@
+"""Prime-time arrivals and viewer behavior."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.vod import VodConfig, prime_time_rate
+from repro.vod.demand import _REGION_TZ, VodDemandGenerator
+from repro.vod.engine import attach_vod
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+class TestPrimeTimeRate:
+    def test_peaks_at_the_peak_hour(self):
+        tz = 0.0
+        rates = {h: prime_time_rate(h * HOUR, tz) for h in range(24)}
+        peak = max(rates, key=rates.get)
+        assert peak in (20, 21)  # default peak_hour=20.5
+
+    def test_overnight_floor_holds(self):
+        for h in range(24):
+            rate = prime_time_rate(h * HOUR, 0.0, floor=0.08)
+            assert 0.08 <= rate <= 1.0
+
+    def test_timezone_shifts_the_peak(self):
+        # 20:30 local in a UTC+8 region is 12:30 UTC.
+        utc8 = prime_time_rate(12.5 * HOUR, 8 * HOUR)
+        utc0 = prime_time_rate(12.5 * HOUR, 0.0)
+        assert utc8 > utc0
+        assert utc8 == pytest.approx(1.0)
+
+    def test_sharpness_narrows_the_peak(self):
+        shoulder = 17.0 * HOUR
+        soft = prime_time_rate(shoulder, 0.0, sharpness=1.0)
+        hard = prime_time_rate(shoulder, 0.0, sharpness=6.0)
+        assert hard < soft
+
+    def test_daily_periodicity(self):
+        assert prime_time_rate(5 * HOUR, 0.0) == pytest.approx(
+            prime_time_rate(5 * HOUR + 3 * DAY, 0.0))
+
+
+class TestRegionTable:
+    def test_covers_the_provider_mix(self):
+        # The vod provider's region_mix must resolve to real tz offsets.
+        from repro.vod import build_vod_catalog
+
+        catalog = build_vod_catalog(random.Random("t"), VodConfig())
+        for region in catalog.provider.region_mix:
+            assert region in _REGION_TZ
+
+
+def _tiny_attached_system(sessions=30, policy="unrestricted", seed=5):
+    from repro.core import NetSessionSystem
+
+    system = NetSessionSystem(seed=seed)
+    country = system.world.by_code["DE"]
+
+    class Pop:
+        peers = []
+
+    for _ in range(40):
+        peer = system.create_peer(country=country, uploads_enabled=True)
+        peer.boot()
+        Pop.peers.append(peer)
+    config = VodConfig(sessions=sessions, n_series=2, episodes_per_series=3,
+                       episode_minutes=4.0, bitrate_kbps=1500.0,
+                       policy=policy)
+    runtime = attach_vod(system, Pop, config, seed=seed, duration_days=1.0)
+    return system, runtime
+
+
+class TestGenerator:
+    def test_schedules_the_configured_sessions(self):
+        system, runtime = _tiny_attached_system(sessions=25)
+        assert runtime.sessions_scheduled == 25
+
+    def test_arrivals_concentrate_in_prime_time(self):
+        system, runtime = _tiny_attached_system(sessions=200)
+        system.run(until=DAY)
+        demand = runtime.demand
+        started = demand.sessions_requested - demand.sessions_dropped
+        assert demand.sessions_requested == 200
+        assert started > 0
+        assert system.vod.streams_started >= started
+
+    def test_same_seed_same_arrival_schedule(self):
+        a_sys, a_rt = _tiny_attached_system(sessions=40, seed=9)
+        b_sys, b_rt = _tiny_attached_system(sessions=40, seed=9)
+        a_sys.run(until=DAY)
+        b_sys.run(until=DAY)
+        assert a_sys.vod.snapshot() == b_sys.vod.snapshot()
+        assert a_rt.demand.binge_started == b_rt.demand.binge_started
+
+    def test_viewers_finish_short_episodes(self):
+        system, runtime = _tiny_attached_system(sessions=40)
+        system.run(until=2 * DAY)
+        stats = system.vod.snapshot()
+        assert stats.playbacks_finished > 0
+
+    def test_arrival_times_respect_the_horizon(self):
+        system, runtime = _tiny_attached_system(sessions=50)
+        gen = runtime.demand
+        horizon = 1.0 * DAY
+        for region in ("Europe", "US East", "Oceania"):
+            for _ in range(20):
+                t = gen._sample_arrival_time(region, horizon)
+                assert 0.0 <= t < horizon

@@ -1,0 +1,144 @@
+"""QoE and peak-hour-transit analysis math, on hand-built records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.logstore import LogStore
+from repro.analysis.qoe import (
+    peak_hour_transit, peak_transit_total, qoe_summary, streamed_records,
+)
+from repro.analysis.records import DownloadRecord, LoginRecord
+from repro.net.geo import GeoDatabase, GeoRecord
+
+HOUR = 3600.0
+
+
+def _stream_record(guid="v1", *, startup=4.0, rebuffer_time=0.0,
+                   rebuffer_events=0, watched=1.0, outcome="completed",
+                   peer=60, edge=40, started=0.0, ended=600.0,
+                   uploaders=None, ip="10.0.0.1"):
+    size = 100
+    return DownloadRecord(
+        guid=guid, url="vod/x.mp4", cid="c" * 64, cp_code=8001, size=size,
+        started_at=started, ended_at=ended, edge_bytes=edge, peer_bytes=peer,
+        p2p_enabled=True, outcome=outcome, ip=ip,
+        per_uploader_bytes=dict(uploaders or {}),
+        streamed=True, startup_delay=startup, rebuffer_time=rebuffer_time,
+        rebuffer_events=rebuffer_events, watched_fraction=watched,
+        bitrate=1.0,  # 1 byte/s: watch seconds == watched * size
+    )
+
+
+def _plain_record():
+    return DownloadRecord(
+        guid="d1", url="x.bin", cid="d" * 64, cp_code=1, size=50,
+        started_at=0.0, ended_at=100.0, edge_bytes=50, peer_bytes=0,
+        p2p_enabled=True, outcome="completed",
+    )
+
+
+class TestQoeSummary:
+    def test_empty_trace_is_all_zero(self):
+        summary = qoe_summary(LogStore())
+        assert summary["sessions"] == 0.0
+        assert summary["rebuffer_ratio"] == 0.0
+
+    def test_plain_downloads_are_ignored(self):
+        logs = LogStore()
+        logs.add_download(_plain_record())
+        logs.add_download(_stream_record())
+        assert len(streamed_records(logs)) == 1
+        assert qoe_summary(logs)["sessions"] == 1.0
+
+    def test_rebuffer_ratio_is_stall_over_stall_plus_watch(self):
+        logs = LogStore()
+        # watched 1.0 of a 100-byte video at 1 B/s => 100 s watch time.
+        logs.add_download(_stream_record(rebuffer_time=25.0))
+        summary = qoe_summary(logs)
+        assert summary["rebuffer_ratio"] == pytest.approx(25.0 / 125.0)
+
+    def test_startup_percentiles_skip_never_started(self):
+        logs = LogStore()
+        for delay in (2.0, 4.0, 8.0):
+            logs.add_download(_stream_record(startup=delay))
+        logs.add_download(_stream_record(startup=None, outcome="aborted",
+                                         watched=0.0))
+        summary = qoe_summary(logs)
+        assert summary["startup_p50"] == pytest.approx(4.0)
+        assert summary["never_started"] == pytest.approx(0.25)
+        assert summary["abandoned"] == pytest.approx(0.25)
+
+    def test_peer_offload_over_stream_bytes_only(self):
+        logs = LogStore()
+        logs.add_download(_stream_record(peer=75, edge=25))
+        logs.add_download(_plain_record())  # 100% edge, must not dilute
+        assert qoe_summary(logs)["peer_offload"] == pytest.approx(0.75)
+
+
+def _geo(asn):
+    return GeoRecord(country_code="DE", region="Europe", city="x",
+                     lat=0.0, lon=0.0, timezone="UTC", network=f"AS{asn}",
+                     asn=asn)
+
+
+def _transit_logs():
+    """Uploader u1 in AS 10; viewers v1 (AS 20) and v2 (AS 10)."""
+    logs = LogStore()
+    geodb = GeoDatabase()
+    geodb.register("1.1.1.1", _geo(10))
+    geodb.register("2.2.2.2", _geo(20))
+    geodb.register("3.3.3.3", _geo(10))
+    logs.add_login(LoginRecord(guid="u1", ip="1.1.1.1", timestamp=0.0,
+                               software_version="v", uploads_enabled=True))
+    return logs, geodb
+
+
+class TestPeakHourTransit:
+    def test_inter_as_bytes_attributed_to_uploader_as(self):
+        logs, geodb = _transit_logs()
+        logs.add_download(_stream_record(
+            guid="v1", ip="2.2.2.2", started=0.0, ended=600.0,
+            uploaders={"u1": 3000}))
+        peaks = peak_hour_transit(logs, geodb)
+        assert peaks == {10: pytest.approx(3000.0)}
+
+    def test_intra_as_bytes_never_count(self):
+        logs, geodb = _transit_logs()
+        logs.add_download(_stream_record(
+            guid="v2", ip="3.3.3.3", started=0.0, ended=600.0,
+            uploaders={"u1": 3000}))
+        assert peak_hour_transit(logs, geodb) == {}
+
+    def test_long_transfers_spread_over_hours(self):
+        logs, geodb = _transit_logs()
+        # 2 h transfer: each hour carries half; the peak is half the bytes.
+        logs.add_download(_stream_record(
+            guid="v1", ip="2.2.2.2", started=0.0, ended=2 * HOUR,
+            uploaders={"u1": 8000}))
+        peaks = peak_hour_transit(logs, geodb)
+        assert peaks[10] == pytest.approx(4000.0)
+
+    def test_peak_is_max_not_sum(self):
+        logs, geodb = _transit_logs()
+        logs.add_download(_stream_record(
+            guid="v1", ip="2.2.2.2", started=0.0, ended=600.0,
+            uploaders={"u1": 1000}))
+        logs.add_download(_stream_record(
+            guid="v1", ip="2.2.2.2", started=5 * HOUR, ended=5 * HOUR + 600,
+            uploaders={"u1": 7000}))
+        assert peak_hour_transit(logs, geodb)[10] == pytest.approx(7000.0)
+
+    def test_streamed_only_flag(self):
+        logs, geodb = _transit_logs()
+        plain = _plain_record()
+        plain.ip = "2.2.2.2"
+        plain.per_uploader_bytes = {"u1": 500}
+        logs.add_download(plain)
+        assert peak_hour_transit(logs, geodb) == {}
+        assert peak_hour_transit(logs, geodb, streamed_only=False)[10] == \
+            pytest.approx(500.0)
+
+    def test_total_sums_per_as_peaks(self):
+        assert peak_transit_total({10: 5.0, 20: 7.0}) == 12.0
+        assert peak_transit_total({}) == 0.0
