@@ -1,0 +1,84 @@
+"""Wall-clock regression gate over the ``BENCH_simcore.json`` trajectory.
+
+CI runs the benchmark modules against a copy of the *committed*
+trajectory (the baseline), then invokes this script to compare the
+freshly measured top-level wall times against the baseline's::
+
+    python benchmarks/gate.py --baseline BENCH_baseline.json \
+        --current BENCH_simcore.json swarm_burst vod_playback
+
+A bench regresses when its wall time exceeds the baseline by more than
+``--max-regression`` (default 25% — wide enough for shared-runner noise,
+tight enough to catch a real slowdown).  Benches named on the command
+line *must* exist in both files and carry a wall metric; anything else
+is a configuration error (exit 2), not a pass.  Exit 1 on regression,
+0 when every gated bench holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _results import wall_seconds  # noqa: E402
+
+
+def run_gate(baseline: dict, current: dict, benches: list[str],
+             max_regression: float) -> int:
+    failures = 0
+    for name in benches:
+        base_entry = baseline.get(name)
+        cur_entry = current.get(name)
+        if not isinstance(base_entry, dict) or not isinstance(cur_entry, dict):
+            print(f"gate: bench {name!r} missing from "
+                  f"{'baseline' if base_entry is None else 'current'} file",
+                  file=sys.stderr)
+            return 2
+        base_wall = wall_seconds(base_entry)
+        cur_wall = wall_seconds(cur_entry)
+        if base_wall is None or cur_wall is None:
+            print(f"gate: bench {name!r} has no wall_seconds metric",
+                  file=sys.stderr)
+            return 2
+        ratio = cur_wall / base_wall if base_wall > 0 else float("inf")
+        verdict = "OK" if ratio <= 1.0 + max_regression else "REGRESSED"
+        print(f"gate: {name:24s} baseline={base_wall:8.3f}s "
+              f"current={cur_wall:8.3f}s ratio={ratio:5.2f}  {verdict}")
+        if verdict == "REGRESSED":
+            failures += 1
+    if failures:
+        print(f"gate: {failures} bench(es) regressed beyond "
+              f"{max_regression:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benches", nargs="+",
+                        help="bench names to gate (e.g. swarm_burst)")
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed trajectory file to compare against")
+    parser.add_argument("--current", required=True, type=Path,
+                        help="freshly written trajectory file")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed wall-time growth fraction "
+                             "(default: 0.25)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"gate: cannot read trajectory files: {exc}", file=sys.stderr)
+        return 2
+    return run_gate(baseline, current, args.benches, args.max_regression)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

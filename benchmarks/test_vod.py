@@ -4,24 +4,22 @@ A prime-time burst of viewers all streaming the same episode exercises
 the per-tick playback loop (urgency scheduling, buffer accounting,
 rebuffer detection) on top of the ordinary swarm machinery.  The run
 must stay deterministic and every viewer must finish; the measured wall
-time and per-stream event cost land in ``BENCH_simcore.json`` next to
-the flow-engine numbers so the CI smoke job tracks both engines.
+time and per-stream event cost land in the ``BENCH_simcore.json``
+trajectory next to the flow-engine numbers so the CI bench gate tracks
+both engines.
 """
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from benchmarks._results import record_results
 from repro.analysis.qoe import qoe_summary
 from repro.core import ContentObject, ContentProvider, NetSessionSystem
 from repro.core.peer import CacheEntry
 from repro.core.streaming import start_streaming
-
-BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_simcore.json"
 
 MB = 1024 * 1024
 HOUR = 3600.0
@@ -32,15 +30,7 @@ RESULTS: dict[str, dict] = {}
 @pytest.fixture(scope="module", autouse=True)
 def _dump_results():
     yield
-    if RESULTS:
-        merged: dict = {}
-        if BENCH_PATH.exists():  # keep the flow-engine numbers alongside
-            merged = json.loads(BENCH_PATH.read_text())
-        merged.update(RESULTS)
-        BENCH_PATH.write_text(
-            json.dumps(merged, indent=2, sort_keys=True) + "\n"
-        )
-        print(f"\nwrote {BENCH_PATH}")
+    record_results(RESULTS)
 
 
 def _run_playback(n_viewers: int, *, seed: int = 11):

@@ -77,6 +77,9 @@ class FuzzSpec:
     vod_streams: int = 0
     #: Serving policy installed for the video cid, or None for no policy.
     vod_policy: Optional[str] = None
+    #: Water-filling kernel for the run ("numpy"|"python"|"auto"); fuzz
+    #: workloads are small, so this mostly exercises the dispatch seam.
+    kernel: str = "auto"
 
     def label(self) -> str:
         """Compact identifier for logs and test ids."""
@@ -130,12 +133,14 @@ def generate(seed: int) -> FuzzSpec:
         edge_egress_mbps=rng.choice((None, None, 500.0, 2000.0)),
         churn_events=rng.randint(0, 6),
         pause_resume_events=rng.randint(0, 6),
-        # VoD draws come last: every pre-VoD field above keeps the exact
-        # value the same seed produced before streaming was fuzzable.
+        # Newer fields draw last, newest at the bottom: every older field
+        # above keeps the exact value the same seed produced before the
+        # newer knob was fuzzable.
         vod_streams=rng.choice((0, 0, 0, 2, 4)),
         vod_policy=rng.choice(
             (None, "unrestricted", "isp_local", "popularity_seeding")
         ),
+        kernel=rng.choice(("auto", "numpy", "python")),
     )
 
 
@@ -150,6 +155,7 @@ def _build_config(spec: FuzzSpec) -> SystemConfig:
         ),
         flow_batching=spec.flow_batching,
         edge_egress_mbps=spec.edge_egress_mbps,
+        kernel=spec.kernel,
     )
 
 
@@ -319,6 +325,8 @@ def _candidates(spec: FuzzSpec) -> list[FuzzSpec]:
         out.append(replace(spec, channel_loss=0.0, channel_latency=0.0))
     if not spec.flow_batching:
         out.append(replace(spec, flow_batching=True))
+    if spec.kernel != "auto":
+        out.append(replace(spec, kernel="auto"))
     if spec.edge_egress_mbps is not None:
         out.append(replace(spec, edge_egress_mbps=None))
     if spec.n_objects > 1:

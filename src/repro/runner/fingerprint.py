@@ -67,11 +67,15 @@ def canonicalize(obj: object) -> object:
             f.name: canonicalize(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
         }
-        # ``auto`` invariant mode is an env-var indirection: resolve it so
+        # ``auto`` invariant mode and ``auto`` kernel are env-var
+        # indirections (REPRO_INVARIANTS / REPRO_KERNEL): resolve them so
         # the fingerprint captures the behaviour, not the indirection.
         resolve = getattr(obj, "resolve_mode", None)
         if "mode" in fields and callable(resolve):
             fields["mode"] = resolve()
+        resolve_kernel = getattr(obj, "resolve_kernel", None)
+        if "kernel" in fields and callable(resolve_kernel):
+            fields["kernel"] = resolve_kernel()
         return {
             "__class__": f"{cls.__module__}.{cls.__qualname__}",
             "fields": fields,

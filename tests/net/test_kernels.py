@@ -1,0 +1,176 @@
+"""Equivalence and dispatch tests for the water-filling kernels.
+
+The vectorized kernel is only admissible because it is *bit-identical*
+to the python reference: within a settle round every frozen flow gets
+exactly the same float the reference assigns (the cap minimum or the
+bottleneck's equal share), so the property here asserts exact ``==`` on
+every rate — no tolerance.  The hypothesis strategy draws the shapes
+that historically break allocators: shared resources, capacity-less
+resources, per-flow caps at/below/above the fair share, and fully
+unconstrained flows.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.net.flows import (
+    _VECTOR_MIN_FLOWS, Flow, FlowNetwork, Resource, _max_min_fair,
+    _VectorWaterfill,
+)
+from repro.net.sim import Simulator
+
+
+# --------------------------------------------------------------- components
+
+
+@st.composite
+def components(draw):
+    """A random settle component: flows sharing a pool of resources."""
+    n_res = draw(st.integers(min_value=1, max_value=10))
+    resources = []
+    for i in range(n_res):
+        capacity = draw(st.one_of(
+            st.none(),  # unconstrained resource: never a bottleneck
+            st.floats(min_value=0.5, max_value=5000.0,
+                      allow_nan=False, allow_infinity=False),
+        ))
+        resources.append(Resource(f"r{i}", capacity))
+    n_flows = draw(st.integers(min_value=1, max_value=40))
+    flows = []
+    for i in range(n_flows):
+        k = draw(st.integers(min_value=0, max_value=min(4, n_res)))
+        picked = draw(st.permutations(resources))[:k]
+        cap = draw(st.one_of(
+            st.none(),  # uncapped flow
+            st.floats(min_value=0.1, max_value=2000.0,
+                      allow_nan=False, allow_infinity=False),
+        ))
+        flows.append(Flow(i, tuple(picked), size=1e9, cap=cap,
+                          on_complete=None, meta=None, now=0.0))
+    return flows
+
+
+class TestKernelEquivalence:
+    @given(components())
+    @settings(max_examples=200, deadline=None)
+    def test_rates_are_bit_identical(self, flows):
+        ordered = sorted(flows, key=lambda f: f.flow_id)
+        ref = _max_min_fair(ordered, None)
+        got = _VectorWaterfill().solve(ordered, None)
+        assert set(ref) == set(got)
+        for flow in ordered:
+            assert ref[flow] == got[flow]  # exact, not approx
+
+    def test_solver_reuse_across_components(self):
+        """One solver instance, growing then shrinking inputs: buffers are
+        reused across calls and slices never leak stale state."""
+        solver = _VectorWaterfill()
+        for n in (3, 50, 7, 80, 1):
+            res = [Resource(f"x{i}", 10.0 * (i + 1)) for i in range(max(1, n // 4))]
+            flows = [
+                Flow(i, (res[i % len(res)],), size=1e9,
+                     cap=None if i % 3 else 5.0,
+                     on_complete=None, meta=None, now=0.0)
+                for i in range(n)
+            ]
+            ref = _max_min_fair(flows, None)
+            got = solver.solve(flows, None)
+            for flow in flows:
+                assert ref[flow] == got[flow]
+
+    def test_two_networks_sharing_resources_do_not_cross_intern(self):
+        """Stamps are global: interleaved solves over shared Resource
+        objects must never mistake another call's slots for their own."""
+        res = [Resource(f"s{i}", 100.0) for i in range(6)]
+        a, b = _VectorWaterfill(), _VectorWaterfill()
+        flows_a = [Flow(i, (res[i % 6], res[(i + 1) % 6]), size=1e9, cap=None,
+                        on_complete=None, meta=None, now=0.0)
+                   for i in range(30)]
+        flows_b = [Flow(i, (res[(i + 3) % 6],), size=1e9, cap=None,
+                        on_complete=None, meta=None, now=0.0)
+                   for i in range(30)]
+        assert a.solve(flows_a, None) == _max_min_fair(flows_a, None)
+        assert b.solve(flows_b, None) == _max_min_fair(flows_b, None)
+        assert a.solve(flows_a, None) == _max_min_fair(flows_a, None)
+
+
+# ----------------------------------------------------------------- dispatch
+
+
+class TestKernelDispatch:
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(Simulator(), kernel="fortran")
+
+    def test_small_components_stay_on_python_path(self):
+        """Under the threshold the numpy solver is never instantiated —
+        tiny settles are cheaper in plain python."""
+        sim = Simulator()
+        net = FlowNetwork(sim, kernel="numpy")
+        res = Resource("link", 100.0)
+        for _ in range(_VECTOR_MIN_FLOWS - 1):
+            net.start_flow([res], 1e6)
+        assert net._vector is None
+
+    def test_large_components_use_the_vector_solver(self):
+        sim = Simulator()
+        net = FlowNetwork(sim, kernel="numpy")
+        res = Resource("link", 100.0)
+        for _ in range(_VECTOR_MIN_FLOWS):
+            net.start_flow([res], 1e6)
+        assert net._vector is not None
+
+    def test_python_kernel_never_touches_numpy(self):
+        sim = Simulator()
+        net = FlowNetwork(sim, kernel="python")
+        res = Resource("link", 100.0)
+        for _ in range(_VECTOR_MIN_FLOWS + 5):
+            net.start_flow([res], 1e6)
+        assert net._vector is None
+
+    def test_kernels_agree_end_to_end(self):
+        """Identical flow schedules under both kernels complete at the
+        same simulated times with the same rates."""
+        def run(kernel):
+            sim = Simulator()
+            net = FlowNetwork(sim, kernel=kernel)
+            res = [Resource(f"l{i}", 50.0 + 10.0 * i) for i in range(8)]
+            done = []
+            for i in range(40):
+                net.start_flow(
+                    [res[i % 8], res[(i * 3 + 1) % 8]],
+                    size=1e6 + 1e5 * i,
+                    cap=None if i % 4 else 20.0,
+                    on_complete=lambda f: done.append((sim.now, f.flow_id)),
+                )
+            sim.run()
+            return done
+
+        assert run("python") == run("numpy")
+
+
+# ---------------------------------------------------------- config plumbing
+
+
+class TestKernelConfig:
+    def test_invalid_config_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(kernel="fortran")
+
+    def test_explicit_kernel_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert SystemConfig(kernel="numpy").resolve_kernel() == "numpy"
+
+    def test_auto_resolves_through_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert SystemConfig().resolve_kernel() == "python"
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert SystemConfig().resolve_kernel() == "numpy"
+
+    def test_auto_defaults_to_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        pytest.importorskip("numpy")
+        assert SystemConfig().resolve_kernel() == "numpy"

@@ -88,6 +88,26 @@ class TestPerfCommand:
         assert out.index("offload summary") < out.index("perf counters")
         assert "flow_waterfill_calls" in out
 
+    def test_perf_json_emits_machine_readable_counters(self, capsys):
+        import json
+
+        assert main(["perf", "--scale", "small", "--seed", "7",
+                     "--kernel", "python", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel"] == "python"
+        assert data["scale"] == "small"
+        assert data["flow_waterfill_calls"] > 0
+        assert data["wall_seconds"] >= 0
+
+    def test_perf_kernel_header_reports_resolved_kernel(self, capsys):
+        assert main(["perf", "--scale", "small", "--seed", "7",
+                     "--kernel", "numpy"]) == 0
+        assert "kernel=numpy" in capsys.readouterr().out
+
+    def test_perf_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--kernel", "fortran"])
+
 
 class TestFaultsJSONFlag:
     def test_json_flag_emits_machine_readable_report(self, capsys):
