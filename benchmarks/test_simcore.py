@@ -301,6 +301,40 @@ def test_audit_hook_overhead_swarm_burst():
     assert overhead < 0.05, f"audit hook costs {overhead:.1%} (budget 5%)"
 
 
+def test_reputation_overhead_scenario():
+    """The adversarial defense must cost an honest swarm < 5% wall clock.
+
+    Defense on over a fully honest population is the worst case for
+    overhead accounting: every accepted UsageReport is ingested, every
+    ``select_peers`` call ranks candidates through the reputation engine,
+    and nothing is ever quarantined — pure bookkeeping, zero payoff.  The
+    swarm-burst fault workload from the batching comparison doubles as
+    the stressor (connection churn means many reports and many queries).
+    """
+    def run_mode(defense: bool) -> float:
+        config = _scenario_config(batching=True)
+        config = ScenarioConfig(**{
+            **config.__dict__,
+            "system": config.system.with_defense(enabled=defense),
+        })
+        started = time.perf_counter()
+        run_scenario(config)
+        return time.perf_counter() - started
+
+    # Interleaved min-of-N, same rationale as the observe-mode bench.
+    off_wall = on_wall = float("inf")
+    for _ in range(3):
+        off_wall = min(off_wall, run_mode(False))
+        on_wall = min(on_wall, run_mode(True))
+    overhead = on_wall / off_wall - 1.0
+    RESULTS["reputation_overhead"] = {
+        "off_wall_seconds": round(off_wall, 3),
+        "defense_wall_seconds": round(on_wall, 3),
+        "overhead_fraction": round(overhead, 4),
+    }
+    assert overhead < 0.05, f"reputation engine costs {overhead:.1%} (budget 5%)"
+
+
 def test_audit_observe_overhead_scenario():
     """End-to-end observe-mode cost (checkers included) stays small.
 

@@ -1,0 +1,33 @@
+"""Adversarial peers and the reputation/quarantine defense.
+
+Two halves, deliberately independent:
+
+* :mod:`repro.adversary.profiles` — the attack side: five misbehavior
+  profiles (corrupter, free-rider, stale-advertiser, accounting-inflator,
+  slow-loris) assignable to a seeded fraction of the population via
+  ``ScenarioConfig.adversary`` or the
+  :class:`~repro.faults.spec.AdversarialInfestation` fault;
+* :mod:`repro.adversary.reputation` — the defense side: a deterministic
+  contribution-weighted, corruption-penalized, time-decayed reputation
+  score aggregated CN-side from session usage reports, feeding candidate
+  ranking, quarantine with probation re-admission, and registration
+  eviction.  Enabled via ``SystemConfig.defense``.
+
+Either half runs without the other: adversaries against an undefended
+system measure damage; the defense over an honest population measures
+false positives.  Both default off and keep golden runs byte-identical.
+"""
+
+from repro.adversary.profiles import (
+    PROFILES, AdversaryConfig, apply_profile, assign_adversaries,
+    choose_profile, revert_profile,
+)
+from repro.adversary.reputation import (
+    GOOD, PROBATION, QUARANTINED, PeerScore, ReputationEngine,
+)
+
+__all__ = [
+    "GOOD", "PROBATION", "PROFILES", "QUARANTINED",
+    "AdversaryConfig", "PeerScore", "ReputationEngine",
+    "apply_profile", "assign_adversaries", "choose_profile", "revert_profile",
+]

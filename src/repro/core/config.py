@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 
 __all__ = [
     "ClientConfig", "ControlChannelConfig", "ControlPlaneConfig",
-    "InvariantConfig", "SystemConfig",
+    "DefenseConfig", "InvariantConfig", "SystemConfig",
 ]
 
 
@@ -253,6 +253,72 @@ class InvariantConfig:
 
 
 @dataclass(frozen=True)
+class DefenseConfig:
+    """Reputation/quarantine defense against persistently adversarial peers.
+
+    Sessions record per-uploader observations (verified bytes delivered,
+    corrupted pieces, refused/empty connections, trickling serves) and ship
+    them CN-side inside the existing :class:`~repro.core.messages.UsageReport`
+    RPC.  When enabled, the CN aggregates them into a per-peer reputation
+    score that ranks query candidates, quarantines peers whose score falls
+    below ``quarantine_threshold`` (with registration eviction), and
+    re-admits them on probation after ``probation_interval``.
+
+    **Disabled by default**: with ``enabled=False`` no reputation engine is
+    constructed, no score is updated, selection consumes the exact same RNG
+    stream, and every golden experiment stays byte-identical.  The session-
+    side observation bookkeeping always runs — it is pure counting with no
+    RNG draws and also feeds the drill/`SystemStats` corruption counters.
+    """
+
+    #: Master switch.  False = no engine, no ranking, no quarantine.
+    enabled: bool = False
+    #: Score credit per verified megabyte delivered by an uploader.
+    contribution_weight: float = 1.0
+    #: Score penalty per corrupted piece attributed to an uploader.
+    corruption_penalty: float = 8.0
+    #: Score penalty per refused/empty connection (free-riders and
+    #: stale advertisers; honest-but-busy peers eat this too, which is why
+    #: it is small — contribution credit dominates for real contributors).
+    refusal_penalty: float = 1.0
+    #: Score penalty per trickling serve (average rate below
+    #: ``slow_rate_floor`` when a connection ends).
+    slow_penalty: float = 4.0
+    #: Serve rate (bytes/s) below which a closing connection counts as a
+    #: slow-loris observation.  Well below honest back-off rates.
+    slow_rate_floor: float = 4096.0
+    #: Exponential half-life of the score, seconds (time decay: old sins
+    #: and old virtues both fade).
+    decay_half_life: float = 6 * 3600.0
+    #: Hard clamp on the score in both directions.
+    score_min: float = -100.0
+    score_max: float = 100.0
+    #: Quarantine a peer when its score falls to or below this value.
+    quarantine_threshold: float = -10.0
+    #: Seconds a quarantined peer sits out before probation re-admission.
+    probation_interval: float = 1800.0
+    #: Score a re-admitted peer restarts probation with (half-way back to
+    #: the threshold: one fresh offense re-quarantines immediately).
+    probation_score: float = -5.0
+
+    def __post_init__(self):
+        if self.decay_half_life <= 0:
+            raise ValueError("decay_half_life must be positive")
+        if self.score_min >= self.score_max:
+            raise ValueError("need score_min < score_max")
+        if not self.score_min <= self.quarantine_threshold < self.score_max:
+            raise ValueError("quarantine_threshold must lie within the score bounds")
+        if self.probation_interval <= 0:
+            raise ValueError("probation_interval must be positive")
+        if not self.quarantine_threshold <= self.probation_score <= self.score_max:
+            raise ValueError("probation_score must be in [quarantine_threshold, score_max]")
+        for name in ("contribution_weight", "corruption_penalty",
+                     "refusal_penalty", "slow_penalty", "slow_rate_floor"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Top-level assembly of all configuration."""
 
@@ -260,6 +326,7 @@ class SystemConfig:
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
     channel: ControlChannelConfig = field(default_factory=ControlChannelConfig)
     invariants: InvariantConfig = field(default_factory=InvariantConfig)
+    defense: DefenseConfig = field(default_factory=DefenseConfig)
     #: Control-plane and edge deployment density, per network region.  The
     #: real deployment ran 197 control-plane servers over <20 network
     #: regions; one CN/DN pair per region is the scale-appropriate default.
@@ -323,3 +390,7 @@ class SystemConfig:
     def with_invariants(self, **changes) -> "SystemConfig":
         """Return a copy with invariant-audit fields replaced."""
         return replace(self, invariants=replace(self.invariants, **changes))
+
+    def with_defense(self, **changes) -> "SystemConfig":
+        """Return a copy with reputation-defense fields replaced."""
+        return replace(self, defense=replace(self.defense, **changes))

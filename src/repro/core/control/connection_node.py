@@ -34,6 +34,15 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ConnectionNode"]
 
 
+def _compose_admission(policy_admits, reputation, now):
+    """Serving-policy filter ∧ reputation quarantine gate."""
+    if policy_admits is None:
+        return lambda query, reg: reputation.admits(reg.guid, now)
+    return lambda query, reg: (
+        reputation.admits(reg.guid, now) and policy_admits(query, reg)
+    )
+
+
 class ConnectionNode:
     """One CN: login handling, peer queries, usage collection."""
 
@@ -73,6 +82,11 @@ class ConnectionNode:
         #: candidates and can veto cross-region widening for the cids it
         #: governs.  None (the default) changes nothing.
         self.serving_policy = None
+        #: Optional reputation engine (see :mod:`repro.adversary.reputation`),
+        #: installed by the system when ``SystemConfig.defense.enabled``:
+        #: quarantined peers are filtered out of (and evicted from) the
+        #: directory and candidates are ranked by score.  None = no defense.
+        self.reputation = None
         #: Candidates returned on the *first* query per (guid, cid) — feeds
         #: the Figure 6 field of the download record.
         self.first_query_counts: dict[tuple[str, str], int] = {}
@@ -121,6 +135,11 @@ class ConnectionNode:
     def register_content(self, peer: "PeerNode", cid: str, now: float) -> None:
         """Record that ``peer`` holds a complete copy of ``cid``."""
         if not peer.uploads_enabled:
+            return
+        if (self.reputation is not None
+                and self.reputation.is_quarantined(peer.guid, now)):
+            # Quarantined peers stay out of the directory: eviction would be
+            # pointless if the next refresh re-registered them.
             return
         dn = self._dn_for(cid)
         if dn is None:
@@ -194,6 +213,17 @@ class ConnectionNode:
             widen = False  # e.g. isp_local: remote regions stay closed
         if widen and self.remote_lookup is not None:
             pool = pool + self.remote_lookup(cid, self.network_region)
+        # Compose the serving-policy filter with the reputation gate and
+        # ranking.  Both hooks are None by default, in which case the call
+        # below is identical (argument-for-argument) to the undefended one.
+        candidate_filter = policy.admits if policy is not None else None
+        rank_key = None
+        reputation = self.reputation
+        if reputation is not None:
+            now = reputation.clock()
+            rank_key = reputation.rank_key(now)
+            candidate_filter = _compose_admission(
+                candidate_filter, reputation, now)
         selected = select_peers(
             pool,
             context,
@@ -202,8 +232,15 @@ class ConnectionNode:
             exclude=exclude,
             diversity_probability=self.config.diversity_probability,
             locality_aware=self.locality_aware,
-            candidate_filter=policy.admits if policy is not None else None,
+            candidate_filter=candidate_filter,
+            rank_key=rank_key,
         )
+        if reputation is not None:
+            # The quarantined-never-selected audit: the filter above must
+            # make this dead code; the counter proves it stayed that way.
+            for reg in selected:
+                if reputation.is_quarantined(reg.guid, now):
+                    reputation.quarantine_leaks += 1
         for reg in selected:
             dn.rotate_to_end(cid, reg.guid)
 
@@ -228,9 +265,16 @@ class ConnectionNode:
 
         Validation (cross-check against trusted edge logs) happens in the
         accounting service; rejected reports are still counted there for the
-        §6.2 attack analysis but do not reach billing.
+        §6.2 attack analysis but do not reach billing.  Accepted reports
+        additionally feed the reputation engine (when the defense is on):
+        the per-uploader contribution and misbehavior observations ride the
+        same RPC the peer already sends — and because rejected reports stop
+        here, an accounting inflator can't poison anyone's score.
         """
-        return self.accounting.ingest(report)
+        accepted = self.accounting.ingest(report)
+        if accepted and self.reputation is not None:
+            self.reputation.ingest_report(report, self.reputation.clock())
+        return accepted
 
     # -------------------------------------------------------------- failures
 

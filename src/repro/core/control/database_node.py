@@ -81,15 +81,22 @@ class DatabaseNode:
             if not entries:
                 del self.table[cid]
 
-    def unregister_peer(self, guid: str) -> None:
-        """Remove a peer from every object list (peer went offline)."""
+    def unregister_peer(self, guid: str) -> int:
+        """Remove a peer from every object list (offline or quarantined).
+
+        Returns the number of entries removed (the reputation engine counts
+        quarantine evictions).
+        """
+        removed = 0
         empty = []
         for cid, entries in self.table.items():
-            entries.pop(guid, None)
+            if entries.pop(guid, None) is not None:
+                removed += 1
             if not entries:
                 empty.append(cid)
         for cid in empty:
             del self.table[cid]
+        return removed
 
     def expire(self, now: float) -> int:
         """Drop registrations not refreshed within the TTL; returns count."""

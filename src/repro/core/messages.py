@@ -109,6 +109,16 @@ class UsageReport:
     per_uploader_bytes: dict[str, int] = field(default_factory=dict)
     outcome: str = "completed"  # completed | failed | aborted
     failure_class: str | None = None  # "system" | "other" | None
+    # Per-uploader misbehavior observations, keyed by uploader GUID.  These
+    # feed the CN-side reputation engine (repro.adversary.reputation) when
+    # the defense is enabled; accepted reports only, so accounting-rejected
+    # (inflated) reports can't poison anyone's score.
+    #: Hash-verification failures attributed to each uploader.
+    per_uploader_corrupt: dict[str, int] = field(default_factory=dict)
+    #: Refused or empty connections (grant denied / nothing served).
+    per_uploader_refusals: dict[str, int] = field(default_factory=dict)
+    #: Serves that ended below the slow-rate floor (slow-loris signature).
+    per_uploader_slow: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -110,6 +110,11 @@ class PeerNode:
         #: If True, this peer inflates its usage reports (accounting attack,
         #: §6.2); the accounting service should filter its reports.
         self.accounting_attacker = False
+        #: Misbehavior profile (see :data:`repro.adversary.PROFILES`), or
+        #: None for an honest peer.  Assigned by the adversary layer; the
+        #: slow_loris throttle factor rides along with that profile.
+        self.adversary_profile: Optional[str] = None
+        self.adversary_slow_factor = 1.0
 
         self.cache: dict[str, CacheEntry] = {}
         self.uploads_done: dict[str, int] = {}
@@ -303,6 +308,11 @@ class PeerNode:
     def _evict(self, cid: str) -> None:
         entry = self.cache.pop(cid, None)
         if entry is not None and entry.registered:
+            if self.adversary_profile == "stale_advertiser":
+                # Keeps advertising content it no longer holds: the entry
+                # lives until the soft-state TTL reaps it, and every grant
+                # attempt against it is an empty connection.
+                return
             self.channel.unregister(cid)
 
     def has_complete(self, cid: str) -> bool:
@@ -333,6 +343,10 @@ class PeerNode:
         upload budget.  When the budget hits zero the peer withdraws the
         object from the directory.
         """
+        if self.adversary_profile == "free_rider":
+            # Registers with the directory but refuses every grant: the
+            # downloader burns a candidate slot and records a refusal.
+            return False
         if not self.can_upload(cid):
             return False
         self.active_upload_count += 1
@@ -350,7 +364,10 @@ class PeerNode:
         """Current per-flow upload rate cap in bytes/s (§3.9 throttling)."""
         cfg = self.system.config.client
         fraction = cfg.backoff_rate_fraction if self.link_busy else cfg.upload_rate_fraction
-        return max(1.0, fraction * self.link.up_bps)
+        # adversary_slow_factor is 1.0 for honest peers; a slow-loris peer
+        # trickles at a tiny fraction of its honest cap, pinning the
+        # downloader's connection slot.
+        return max(1.0, fraction * self.link.up_bps * self.adversary_slow_factor)
 
     def set_link_busy(self, busy: bool) -> None:
         """User traffic appeared/cleared on the link: re-throttle uploads."""

@@ -76,6 +76,7 @@ def select_peers(
     locality_aware: bool = True,
     candidate_filter: Optional[
         Callable[[QueryContext, "PeerRegistration"], bool]] = None,
+    rank_key: Optional[Callable[["PeerRegistration"], float]] = None,
 ) -> list["PeerRegistration"]:
     """Choose up to ``count`` candidates for ``query`` from ``registrations``.
 
@@ -90,6 +91,14 @@ def select_peers(
     if ``candidate_filter(query, reg)`` is true.  The filter runs before
     any RNG is consulted, so a pass-everything filter (or None) leaves the
     selection — and its random draws — bit-identical.
+
+    ``rank_key`` is the reputation hook (see
+    :mod:`repro.adversary.reputation`): when given, candidates *within each
+    locality set* are stably sorted by descending key before selection, so
+    high-contribution peers are preferred while locality still dominates
+    and ties keep the DN's fairness rotation order.  Sorting consumes no
+    RNG; ``None`` (the default) leaves the order — and therefore every
+    draw — untouched.
     """
     if count <= 0:
         return []
@@ -119,6 +128,9 @@ def select_peers(
         return []
 
     if not locality_aware:
+        if rank_key is not None:
+            ranked = sorted(eligible, key=rank_key, reverse=True)
+            return ranked[:count]
         if len(eligible) <= count:
             return list(eligible)
         return rng.sample(eligible, count)
@@ -129,6 +141,9 @@ def select_peers(
     }
     for reg in eligible:
         buckets[specificity_level(query, reg)].append(reg)
+    if rank_key is not None:
+        for bucket in buckets.values():
+            bucket.sort(key=rank_key, reverse=True)
 
     chosen: list["PeerRegistration"] = []
     chosen_guids: set[str] = set()

@@ -248,14 +248,25 @@ class PeerConnection(_Connection):
         chunk, self.chunk, self.flow = self.chunk, None, None
         assert chunk is not None
         self.observe_rate(flow)
+        self._note_if_slow(flow)
         self._verify_and_deliver(chunk.pieces)
         if self.closed:
             return
-        if self.corrupted_pieces >= self.session.system.config.client.conn_corruption_ban:
+        if self.uploader.guid in self.session.banned_uploaders:
+            # The session-level aggregate (not just this connection's count)
+            # crossed conn_corruption_ban — see note_corruption.
+            self.session.system.defense.conn_corruption_drops += 1
             self.close(credit_partial=False)
             self.session.replace_connections()
             return
         self.pull_next()
+
+    def _note_if_slow(self, flow: Flow) -> None:
+        """Record a slow-loris observation when a serve ran at a trickle."""
+        rate = flow.average_rate()
+        floor = self.session.system.config.defense.slow_rate_floor
+        if 0 < rate < floor:
+            self.session.note_slow_serve(self.uploader.guid)
 
     def _verify_and_deliver(self, pieces: list[int]) -> None:
         """Hash-check each received piece; deliver good ones, requeue bad."""
@@ -277,6 +288,7 @@ class PeerConnection(_Connection):
             nbytes = sum(obj.piece_size(i) for i in bad)
             self.session.record_corruption(len(bad), nbytes)
             self.session.requeue_pieces(bad)
+            self.session.note_corruption(self.uploader.guid, len(bad))
 
     def handle_uploader_offline(self) -> None:
         """The uploader vanished mid-chunk (churn): credit and requeue."""
@@ -295,6 +307,7 @@ class PeerConnection(_Connection):
             flow = self.flow
             self.uploader.upload_flows.discard(flow)
             self.session.system.flows.abort_flow(flow)
+            self._note_if_slow(flow)
             if self.chunk is not None:
                 done, rest = self.chunk.split_at_bytes(self.session.obj, flow.transferred)
                 if credit_partial and done:
@@ -331,6 +344,16 @@ class DownloadSession:
         self.per_uploader_bytes: dict[str, int] = {}
         self.corrupted_bytes = 0
         self.corrupted_piece_count = 0
+        # Per-uploader misbehavior observations (pure counting, no RNG);
+        # shipped CN-side in the usage report and — via banned_uploaders —
+        # closing the ban-evasion hole: corruption aggregates across *all*
+        # of an uploader's connections in this session, so a corrupter
+        # dropped at conn_corruption_ban stays banned across reconnects,
+        # resumes, and hybrid promotions (which clear _tried_guids).
+        self.corrupt_by_uploader: dict[str, int] = {}
+        self.refused_by_uploader: dict[str, int] = {}
+        self.slow_by_uploader: dict[str, int] = {}
+        self.banned_uploaders: set[str] = set()
         self.peers_initially_returned = 0
         #: Set by the predictive-placement policy: not user demand.
         self.is_prefetch = False
@@ -477,8 +500,34 @@ class DownloadSession:
         """Count discarded corrupt pieces; fail the download past the limit."""
         self.corrupted_piece_count += pieces
         self.corrupted_bytes += nbytes
+        self.system.defense.corrupted_pieces += pieces
+        self.system.defense.corrupted_bytes += nbytes
         if self.corrupted_piece_count > self.system.config.client.max_corrupted_pieces:
             self.fail(FAILURE_SYSTEM)
+
+    def note_corruption(self, guid: str, pieces: int) -> None:
+        """Attribute corrupted pieces to an uploader; ban past the threshold.
+
+        The aggregate spans every connection this session opened to the
+        uploader, so the ban survives ``replace_connections()``, resumes,
+        and hybrid promotions — the per-connection counter alone let a
+        corrupter back in whenever ``_tried_guids`` was cleared.
+        """
+        total = self.corrupt_by_uploader.get(guid, 0) + pieces
+        self.corrupt_by_uploader[guid] = total
+        if (total >= self.system.config.client.conn_corruption_ban
+                and guid not in self.banned_uploaders):
+            self.banned_uploaders.add(guid)
+            self.system.defense.uploader_bans += 1
+
+    def note_refusal(self, guid: str) -> None:
+        """An uploader refused the grant or had nothing to serve."""
+        self.refused_by_uploader[guid] = self.refused_by_uploader.get(guid, 0) + 1
+
+    def note_slow_serve(self, guid: str) -> None:
+        """A serve from this uploader ended below the slow-rate floor."""
+        self.slow_by_uploader[guid] = self.slow_by_uploader.get(guid, 0) + 1
+        self.system.defense.slow_serves += 1
 
     # ---------------------------------------------------------- peer sourcing
 
@@ -530,7 +579,7 @@ class DownloadSession:
         if live >= min(target, self.system.config.client.max_peer_connections):
             return
         uploader = self.system.peer_by_guid.get(guid)
-        ok = (
+        reachable = (
             uploader is not None
             and uploader.online
             and uploader is not self.peer
@@ -538,8 +587,21 @@ class DownloadSession:
                 self.peer.nat_profile.true_type, uploader.nat_profile.true_type
             )
             and self.rng.random() < self.system.config.client.connect_success_prob
-            and uploader.try_grant_upload(self.obj.cid)
         )
+        # The ban check sits *after* the success draw so that sessions with
+        # no banned uploaders consume the exact same RNG stream as before
+        # the ban-evasion fix (golden parity); a banned uploader is then
+        # refused without touching its upload slots.
+        ok = False
+        if reachable:
+            if guid in self.banned_uploaders:
+                self.system.defense.ban_blocked_attempts += 1
+            elif uploader.try_grant_upload(self.obj.cid):
+                ok = True
+            else:
+                # Grant refused with the peer reachable: a free-rider, a
+                # stale advertiser with nothing to serve, or simply busy.
+                self.note_refusal(guid)
         if ok:
             conn = PeerConnection(self, uploader)
             self.peer_conns.append(conn)
@@ -740,6 +802,9 @@ class DownloadSession:
             per_uploader_bytes=per_uploader,
             outcome=self.outcome or "aborted",
             failure_class=self.failure_class,
+            per_uploader_corrupt=dict(self.corrupt_by_uploader),
+            per_uploader_refusals=dict(self.refused_by_uploader),
+            per_uploader_slow=dict(self.slow_by_uploader),
         )
         record = DownloadRecord(
             guid=self.peer.guid,

@@ -46,7 +46,10 @@ from repro.net.nat import NATModel
 from repro.net.sim import Simulator
 from repro.net.topology import ASTopology, build_topology
 
-__all__ = ["NetSessionSystem", "SystemStats", "VodCounters", "VodStats"]
+__all__ = [
+    "DefenseCounters", "DefenseStats", "NetSessionSystem", "SystemStats",
+    "VodCounters", "VodStats",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +122,92 @@ class VodCounters:
 
 
 @dataclass(frozen=True)
+class DefenseStats:
+    """Corruption/ban bookkeeping plus reputation-engine counters.
+
+    The corruption and session-ban counters accumulate in every run (they
+    are pure observations of the swarm layer); the quarantine/probation
+    counters stay zero unless ``SystemConfig.defense.enabled`` constructed
+    a :class:`~repro.adversary.reputation.ReputationEngine`.  Defined here,
+    like :class:`VodStats`, so pickled artifacts embedding
+    :class:`SystemStats` never depend on the adversary package.
+    """
+
+    #: Hash-verification failures across all sessions (pieces / bytes).
+    corrupted_pieces: int = 0
+    corrupted_bytes: int = 0
+    #: Peer connections dropped for crossing ``conn_corruption_ban``.
+    conn_corruption_drops: int = 0
+    #: Session-level uploader bans (corruption aggregated across a
+    #: session's connections to one uploader).
+    uploader_bans: int = 0
+    #: Connection attempts refused because the uploader was session-banned
+    #: (each one is a re-selection the pre-fix engine would have allowed).
+    ban_blocked_attempts: int = 0
+    #: Serves that ended below the slow-rate floor.
+    slow_serves: int = 0
+    #: Reputation-engine counters (all zero with the defense disabled).
+    quarantines: int = 0
+    probations: int = 0
+    reports_ingested: int = 0
+    registrations_evicted: int = 0
+    #: Quarantined peers that still appeared in a query answer — the
+    #: quarantined-never-selected audit; must stay zero.
+    quarantine_leaks: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "corrupted_pieces": self.corrupted_pieces,
+            "corrupted_bytes": self.corrupted_bytes,
+            "conn_corruption_drops": self.conn_corruption_drops,
+            "uploader_bans": self.uploader_bans,
+            "ban_blocked_attempts": self.ban_blocked_attempts,
+            "slow_serves": self.slow_serves,
+            "quarantines": self.quarantines,
+            "probations": self.probations,
+            "reports_ingested": self.reports_ingested,
+            "registrations_evicted": self.registrations_evicted,
+            "quarantine_leaks": self.quarantine_leaks,
+        }
+
+
+class DefenseCounters:
+    """Mutable accumulator behind :class:`DefenseStats`.
+
+    The swarm layer increments the corruption/ban counters directly;
+    :meth:`NetSessionSystem.stats` folds in the reputation engine's own
+    counters (when one exists) at snapshot time.
+    """
+
+    __slots__ = ("corrupted_pieces", "corrupted_bytes",
+                 "conn_corruption_drops", "uploader_bans",
+                 "ban_blocked_attempts", "slow_serves")
+
+    def __init__(self):
+        self.corrupted_pieces = 0
+        self.corrupted_bytes = 0
+        self.conn_corruption_drops = 0
+        self.uploader_bans = 0
+        self.ban_blocked_attempts = 0
+        self.slow_serves = 0
+
+    def snapshot(self, engine=None) -> DefenseStats:
+        return DefenseStats(
+            corrupted_pieces=self.corrupted_pieces,
+            corrupted_bytes=self.corrupted_bytes,
+            conn_corruption_drops=self.conn_corruption_drops,
+            uploader_bans=self.uploader_bans,
+            ban_blocked_attempts=self.ban_blocked_attempts,
+            slow_serves=self.slow_serves,
+            quarantines=engine.quarantines if engine else 0,
+            probations=engine.probations if engine else 0,
+            reports_ingested=engine.reports_ingested if engine else 0,
+            registrations_evicted=engine.registrations_evicted if engine else 0,
+            quarantine_leaks=engine.quarantine_leaks if engine else 0,
+        )
+
+
+@dataclass(frozen=True)
 class SystemStats:
     """Point-in-time performance counters for a running system.
 
@@ -151,6 +240,8 @@ class SystemStats:
     #: Streaming/serving-policy counters (see :class:`VodStats`); all zero
     #: unless the scenario attached a VoD workload.
     vod: VodStats = VodStats()
+    #: Corruption/ban and reputation counters (see :class:`DefenseStats`).
+    defense: DefenseStats = DefenseStats()
 
     def as_dict(self) -> dict[str, float]:
         """Flat key/value view for tables and JSON (flow_*/ctrl_* prefixed)."""
@@ -174,6 +265,8 @@ class SystemStats:
             out[f"inv_{key}"] = value
         for key, value in self.vod.as_dict().items():
             out[f"vod_{key}"] = value
+        for key, value in self.defense.as_dict().items():
+            out[f"rep_{key}"] = value
         return out
 
 
@@ -230,6 +323,21 @@ class NetSessionSystem:
         #: Streaming/serving-policy accumulator (stays all-zero unless a
         #: VoD workload is attached; see :mod:`repro.vod`).
         self.vod = VodCounters()
+        #: Corruption/ban accumulator (always live — pure bookkeeping).
+        self.defense = DefenseCounters()
+        #: Ground truth for drills/experiments: guid -> profile for every
+        #: peer an adversary assignment converted.  Empty in honest runs.
+        self.adversary_truth: dict[str, str] = {}
+        #: CN-side reputation engine; None unless the defense is enabled,
+        #: in which case every CN ranks and filters candidates through it.
+        self.reputation = None
+        if self.config.defense.enabled:
+            from repro.adversary.reputation import ReputationEngine
+            self.reputation = ReputationEngine(self.config.defense, seed)
+            self.reputation.on_quarantine = self._evict_quarantined
+            self.reputation.clock = lambda: self.sim.now
+            for cn in self.control.all_cns:
+                cn.reputation = self.reputation
 
         #: The sanitizer layer (see :mod:`repro.invariants`).  Constructed
         #: last so its checkers can observe every subsystem above.
@@ -297,6 +405,13 @@ class NetSessionSystem:
             self.all_peers.append(peer)
         self.peer_by_guid[peer.guid] = peer
 
+    def _evict_quarantined(self, guid: str) -> int:
+        """Reputation-engine hook: drop a quarantined peer's registrations."""
+        evicted = 0
+        for dn in self.control.all_dns:
+            evicted += dn.unregister_peer(guid)
+        return evicted
+
     # -------------------------------------------------------------- operation
 
     def start_download(self, peer: PeerNode, obj: ContentObject) -> DownloadSession:
@@ -357,6 +472,7 @@ class NetSessionSystem:
             channel=self.channel_stats.snapshot(),
             invariants=self.auditor.stats(),
             vod=self.vod.snapshot(),
+            defense=self.defense.snapshot(self.reputation),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -23,11 +23,14 @@ from repro.faults.drill import (
 )
 from repro.faults.injector import FaultInjector, InjectionEvent
 from repro.faults.metrics import FaultRecovery, RecoveryTracker
-from repro.faults.scenarios import SCENARIOS, build_scenario, scenario_names
+from repro.faults.scenarios import (
+    DEFENSE_SCENARIOS, SCENARIOS, build_scenario, scenario_names,
+)
 from repro.faults.spec import (
-    CNOutage, ControlLatencySpike, ControlMessageLoss, ControlPlaneBlackout,
-    DNWipe, EdgeBrownout, FaultSpec, FlakyUploader, InjectionContext,
-    LinkDegradation, NATRebind, PeerChurnStorm, RegionPartition,
+    AdversarialInfestation, CNOutage, ControlLatencySpike, ControlMessageLoss,
+    ControlPlaneBlackout, DNWipe, EdgeBrownout, FaultSpec, FlakyUploader,
+    InjectionContext, LinkDegradation, NATRebind, PeerChurnStorm,
+    RegionPartition, ReputationWipe,
 )
 
 __all__ = [
@@ -35,6 +38,7 @@ __all__ = [
     "CNOutage", "DNWipe", "ControlPlaneBlackout", "EdgeBrownout",
     "LinkDegradation", "NATRebind", "PeerChurnStorm", "FlakyUploader",
     "ControlMessageLoss", "ControlLatencySpike", "RegionPartition",
+    "AdversarialInfestation", "ReputationWipe", "DEFENSE_SCENARIOS",
     "FaultInjector", "InjectionEvent",
     "FaultRecovery", "RecoveryTracker",
     "SCENARIOS", "build_scenario", "scenario_names",

@@ -24,11 +24,11 @@ from repro.core.peer import CacheEntry, PeerNode
 from repro.core.swarm import DownloadSession
 from repro.core.system import NetSessionSystem
 from repro.faults.injector import FaultInjector, InjectionEvent
-from repro.faults.metrics import FaultRecovery
-from repro.faults.scenarios import build_scenario
+from repro.faults.metrics import FaultRecovery, adversary_metrics
+from repro.faults.scenarios import DEFENSE_SCENARIOS, build_scenario
 
 __all__ = ["DrillReport", "DrillRequest", "PortableDrillReport",
-           "run_drill", "run_drill_portable"]
+           "adversary_metrics", "run_drill", "run_drill_portable"]
 
 MB = 1024 * 1024
 
@@ -53,6 +53,10 @@ class DrillReport:
     #: End-of-run invariant-audit summary: counters plus any recorded
     #: violations (structured, deduplicated; see :mod:`repro.invariants`).
     invariants: dict = field(default_factory=dict)
+    #: Adversarial-defense outcome (empty unless the run had adversaries or
+    #: the reputation engine): wasted corrupted bytes, ban counts, the
+    #: false-positive ban rate against ground truth, accounting outcomes.
+    adversary: dict = field(default_factory=dict)
     text: str = ""
 
     def wave_stats(self, wave: str) -> dict[str, float]:
@@ -95,6 +99,7 @@ class DrillReport:
             ],
             "channel": self.channel,
             "invariants": self.invariants,
+            "adversary": self.adversary,
         }
 
 
@@ -153,6 +158,13 @@ def _render(report: DrillReport) -> str:
             ["counter", "value"],
             [[key, value] for key, value in report.channel.items()],
         ))
+    if report.adversary:
+        lines.append("")
+        lines.append(render_table(
+            "adversarial defense (§6.2)",
+            ["metric", "value"],
+            [[key, value] for key, value in report.adversary.items()],
+        ))
     if report.invariants:
         lines.append("")
         lines.append(render_audit("invariant audit", report.invariants))
@@ -184,6 +196,11 @@ def run_drill(
     """
     config = SystemConfig() if invariants is None \
         else SystemConfig(invariants=invariants)
+    if scenario in DEFENSE_SCENARIOS:
+        # Adversarial scenarios are pointless without the thing they test;
+        # every other scenario keeps the defaults-off config (and therefore
+        # its byte-identical pre-defense baseline).
+        config = config.with_defense(enabled=True)
     system = NetSessionSystem(config, seed=seed)
     provider = ContentProvider(cp_code=9001, name="DrillCo")
     obj = ContentObject("drillco/drill.bin", 300 * MB, provider, p2p_enabled=True)
@@ -238,6 +255,7 @@ def run_drill(
             **system.auditor.stats().as_dict(),
             "violations": [v.as_dict() for v in violations],
         },
+        adversary=adversary_metrics(system),
     )
     report.text = _render(report)
     return report

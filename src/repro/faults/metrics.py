@@ -24,7 +24,52 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import NetSessionSystem
 
-__all__ = ["FaultRecovery", "RecoveryTracker"]
+__all__ = ["FaultRecovery", "RecoveryTracker", "adversary_metrics"]
+
+
+def adversary_metrics(system: "NetSessionSystem") -> dict:
+    """Defense outcome vs. ground truth; {} for honest, defenseless runs.
+
+    ``false_positive_ban_rate`` is the fraction of ever-quarantined peers
+    that are *not* in ``adversary_truth`` — honest peers the defense
+    wrongly banned.  ``inflated_reports_accepted`` counts accounting
+    acceptances from known inflators; the §6.2 cross-check keeps it zero.
+
+    Lives here (not in :mod:`repro.faults.drill`) so the runner's artifact
+    projection can snapshot it without pulling in the drill machinery.
+    """
+    truth = system.adversary_truth
+    engine = system.reputation
+    if not truth and engine is None:
+        return {}
+    defense = system.defense.snapshot(engine)
+    ever_quarantined = 0
+    false_positives = 0
+    if engine is not None:
+        for guid, entry in engine.entries():
+            if entry.quarantines > 0:
+                ever_quarantined += 1
+                if guid not in truth:
+                    false_positives += 1
+    inflated_accepted = sum(
+        1 for r in system.accounting.accepted
+        if truth.get(r.guid) == "accounting_inflator")
+    inflated_rejected = sum(
+        1 for r, _ in system.accounting.rejected
+        if truth.get(r.guid) == "accounting_inflator")
+    return {
+        "adversaries": len(truth),
+        "corrupted_bytes_wasted": defense.corrupted_bytes,
+        "uploader_bans": defense.uploader_bans,
+        "quarantined_peers": ever_quarantined,
+        "false_positive_bans": false_positives,
+        "false_positive_ban_rate": (
+            false_positives / ever_quarantined if ever_quarantined else 0.0),
+        "inflated_reports_accepted": inflated_accepted,
+        "inflated_reports_rejected": inflated_rejected,
+        "registrations_evicted": defense.registrations_evicted,
+        "quarantine_leaks": defense.quarantine_leaks,
+    }
 
 
 @dataclass

@@ -15,12 +15,15 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.faults.spec import (
-    CNOutage, ControlLatencySpike, ControlMessageLoss, ControlPlaneBlackout,
-    DNWipe, EdgeBrownout, FaultSpec, FlakyUploader, LinkDegradation,
-    NATRebind, PeerChurnStorm, RegionPartition,
+    AdversarialInfestation, CNOutage, ControlLatencySpike, ControlMessageLoss,
+    ControlPlaneBlackout, DNWipe, EdgeBrownout, FaultSpec, FlakyUploader,
+    LinkDegradation, NATRebind, PeerChurnStorm, RegionPartition,
+    ReputationWipe,
 )
 
-__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+__all__ = [
+    "DEFENSE_SCENARIOS", "SCENARIOS", "build_scenario", "scenario_names",
+]
 
 #: Default position of a scenario inside a run, seconds.
 DEFAULT_AT = 1800.0
@@ -117,6 +120,23 @@ def _perfect_storm(at: float, duration: float) -> tuple[FaultSpec, ...]:
     )
 
 
+def _adversarial_infestation(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """15% of the population is compromised mid-run (all five profiles);
+    the cleanup lands when the fault reverts, but reputation remembers."""
+    return (AdversarialInfestation("adversarial-infestation", start=at,
+                                   duration=duration, fraction=0.15),)
+
+
+def _reputation_wipe(at: float, duration: float) -> tuple[FaultSpec, ...]:
+    """An infestation at t=at, then the defense loses its memory mid-fight
+    and must re-detect every quarantined adversary from scratch."""
+    return (
+        AdversarialInfestation("wipe-infestation", start=at,
+                               duration=2 * max(duration, 60.0), fraction=0.15),
+        ReputationWipe("reputation-wipe", start=at + max(duration, 60.0)),
+    )
+
+
 SCENARIOS: dict[str, ScenarioFactory] = {
     "control_plane_blackout": _control_plane_blackout,
     "cn_flap": _cn_flap,
@@ -131,7 +151,14 @@ SCENARIOS: dict[str, ScenarioFactory] = {
     "control_partition": _control_partition,
     "rolling_upgrade": _rolling_upgrade,
     "perfect_storm": _perfect_storm,
+    "adversarial_infestation": _adversarial_infestation,
+    "reputation_wipe": _reputation_wipe,
 }
+
+#: Scenarios whose whole point is the reputation defense: the drill enables
+#: ``SystemConfig.defense`` for these (every other scenario keeps the
+#: defaults-off config and its byte-identical baseline).
+DEFENSE_SCENARIOS = frozenset({"adversarial_infestation", "reputation_wipe"})
 
 
 def scenario_names() -> list[str]:

@@ -35,6 +35,7 @@ __all__ = [
     "CNOutage", "DNWipe", "ControlPlaneBlackout", "EdgeBrownout",
     "LinkDegradation", "NATRebind", "PeerChurnStorm", "FlakyUploader",
     "ControlMessageLoss", "ControlLatencySpike", "RegionPartition",
+    "AdversarialInfestation", "ReputationWipe",
 ]
 
 T = TypeVar("T")
@@ -478,3 +479,85 @@ class FlakyUploader(FaultSpec):
     def revert(self, ctx: InjectionContext, token: object) -> None:
         for peer, old_prob in token:
             peer.piece_corruption_prob = old_prob
+
+
+# ----------------------------------------------------------------- adversaries
+
+
+@dataclass(frozen=True)
+class AdversarialInfestation(FaultSpec):
+    """Convert a fraction of the population into adversaries mid-run.
+
+    Applies the :mod:`repro.adversary.profiles` misbehavior profiles —
+    unlike the scenario-level ``adversary`` leaf (present from t=0), this
+    models a *compromise event*: a malware push or a Sybil wave landing on
+    a previously honest swarm.  Victims are recorded in the system's
+    ``adversary_truth`` so the drill's false-positive-ban metric still has
+    ground truth; reverting restores the saved peer attributes (the
+    "cleanup" half of the incident) but deliberately leaves the truth map
+    and any reputation state in place — detection history is real history.
+    """
+
+    fraction: float = 0.1
+    #: Restrict to one profile, or None for the uniform five-way mix.
+    profile: str | None = None
+    #: Per-piece corruption probability for converted corrupters.
+    corruption_prob: float = 0.3
+    #: Upload-cap factor for converted slow-loris peers.
+    slow_factor: float = 0.02
+
+    def __post_init__(self):
+        super().__post_init__()
+        from repro.adversary.profiles import PROFILES
+
+        if not 0 < self.fraction <= 1:
+            raise ValueError(
+                f"fault {self.name!r}: fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.profile is not None and self.profile not in PROFILES:
+            raise ValueError(
+                f"fault {self.name!r}: unknown profile {self.profile!r}"
+            )
+
+    def apply(self, ctx: InjectionContext) -> object:
+        from repro.adversary.profiles import (
+            AdversaryConfig, PROFILES, apply_profile, choose_profile,
+        )
+
+        config = AdversaryConfig(
+            fraction=self.fraction,
+            corruption_prob=self.corruption_prob,
+            slow_factor=self.slow_factor,
+        )
+        honest = [
+            p for p in ctx.system.all_peers if p.adversary_profile is None
+        ]
+        tokens = []
+        for peer in ctx.select(honest, self.fraction):
+            profile = self.profile or choose_profile(ctx.rng)
+            tokens.append(apply_profile(peer, profile, config))
+            ctx.system.adversary_truth[peer.guid] = profile
+        return tokens
+
+    def revert(self, ctx: InjectionContext, token: object) -> None:
+        from repro.adversary.profiles import revert_profile
+
+        for t in token:
+            revert_profile(t)
+
+
+@dataclass(frozen=True)
+class ReputationWipe(FaultSpec):
+    """Erase the reputation engine's memory (instantaneous).
+
+    Models losing the defense's soft state — a CN-side restart, a bad
+    schema migration.  Every score and quarantine is forgotten: banned
+    adversaries walk free until re-detected, which is exactly the recovery
+    curve the adversarial drill measures.  A no-op when the defense is off.
+    """
+
+    def apply(self, ctx: InjectionContext) -> object:
+        engine = ctx.system.reputation
+        if engine is None:
+            return 0
+        return engine.wipe()

@@ -22,8 +22,9 @@ import random
 from dataclasses import asdict, dataclass, replace
 from typing import Callable, Optional
 
+from repro.adversary.profiles import PROFILES as _PROFILES
 from repro.core.config import (
-    ControlChannelConfig, InvariantConfig, SystemConfig,
+    ControlChannelConfig, DefenseConfig, InvariantConfig, SystemConfig,
 )
 from repro.core.content import ContentObject, ContentProvider
 from repro.core.peer import CacheEntry
@@ -80,6 +81,14 @@ class FuzzSpec:
     #: Water-filling kernel for the run ("numpy"|"python"|"auto"); fuzz
     #: workloads are small, so this mostly exercises the dispatch seam.
     kernel: str = "auto"
+    #: Fraction of peers converted to misbehavior profiles (0.0 keeps the
+    #: run identical to a pre-adversary fuzzer: nothing is converted and
+    #: no extra RNG stream exists).
+    adversary_fraction: float = 0.0
+    #: Restrict the conversion to one profile, or None for the uniform mix.
+    adversary_profile: Optional[str] = None
+    #: Run with the reputation/quarantine defense enabled.
+    defense: bool = False
 
     def label(self) -> str:
         """Compact identifier for logs and test ids."""
@@ -141,6 +150,9 @@ def generate(seed: int) -> FuzzSpec:
             (None, "unrestricted", "isp_local", "popularity_seeding")
         ),
         kernel=rng.choice(("auto", "numpy", "python")),
+        adversary_fraction=rng.choice((0.0, 0.0, 0.0, 0.15, 0.3)),
+        adversary_profile=rng.choice((None, None) + _PROFILES),
+        defense=rng.random() < 0.5,
     )
 
 
@@ -156,6 +168,7 @@ def _build_config(spec: FuzzSpec) -> SystemConfig:
         flow_batching=spec.flow_batching,
         edge_egress_mbps=spec.edge_egress_mbps,
         kernel=spec.kernel,
+        defense=DefenseConfig(enabled=spec.defense),
     )
 
 
@@ -268,6 +281,28 @@ def run_spec(spec: FuzzSpec) -> FuzzResult:
                     ),
                 )
 
+        # Adversary conversion goes last of all: it draws only from its own
+        # string-seeded RNG, so with adversary_fraction == 0 every stream
+        # above is untouched and the run is bit-identical to an honest one.
+        if spec.adversary_fraction > 0:
+            from repro.adversary.profiles import (
+                AdversaryConfig, assign_adversaries,
+            )
+
+            mix = (1.0,) * len(_PROFILES)
+            if spec.adversary_profile is not None:
+                mix = tuple(
+                    1.0 if name == spec.adversary_profile else 0.0
+                    for name in _PROFILES
+                )
+            assign_adversaries(
+                seeders + downloaders,
+                AdversaryConfig(fraction=spec.adversary_fraction,
+                                profile_mix=mix),
+                spec.seed,
+                truth=system.adversary_truth,
+            )
+
         system.run(until=horizon)
         system.finalize_open_downloads()
         system.audit(final=True)
@@ -313,6 +348,11 @@ def _candidates(spec: FuzzSpec) -> list[FuzzSpec]:
     out: list[FuzzSpec] = []
     if spec.fault_scenario is not None:
         out.append(replace(spec, fault_scenario=None))
+    if spec.adversary_fraction:
+        out.append(replace(spec, adversary_fraction=0.0,
+                           adversary_profile=None))
+    if spec.defense:
+        out.append(replace(spec, defense=False))
     if spec.vod_streams:
         out.append(replace(spec, vod_streams=0, vod_policy=None))
     if spec.vod_policy is not None:

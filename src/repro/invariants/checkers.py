@@ -384,3 +384,68 @@ def check_edge_log_reconciliation(system: "NetSessionSystem", report: Report) ->
 def check_accounting_ledger(system: "NetSessionSystem", report: Report) -> None:
     for line in system.accounting.ledger_drift():
         report("error", f"ledger:{line.split(':', 1)[0]}", line)
+
+
+# --------------------------------------------------------------------------
+# reputation / quarantine defense sanity (no-ops with the defense off)
+# --------------------------------------------------------------------------
+
+@register_checker(
+    "reputation-bounds",
+    "scores clamped, states legal, no quarantined peer ever selected",
+)
+def check_reputation_bounds(system: "NetSessionSystem", report: Report) -> None:
+    from repro.adversary.reputation import GOOD, PROBATION, QUARANTINED
+
+    engine = system.reputation
+    if engine is None:
+        return
+    cfg = engine.config
+    legal = {GOOD, PROBATION, QUARANTINED}
+    for guid, entry in engine.entries():
+        subject = f"reputation:{guid[:8]}"
+        # Decay only shrinks magnitude, so the clamp bound holds lazily too.
+        if not cfg.score_min - _ABS <= entry.score <= cfg.score_max + _ABS:
+            report("error", subject,
+                   f"score {entry.score:.3f} outside "
+                   f"[{cfg.score_min}, {cfg.score_max}]")
+        if entry.state not in legal:
+            report("error", subject, f"illegal state {entry.state!r}")
+        if entry.state == QUARANTINED and entry.quarantines < 1:
+            report("error", subject,
+                   "QUARANTINED with a zero quarantine count")
+        if entry.quarantined_at > system.sim.now + _ABS:
+            report("error", subject,
+                   f"quarantined_at {entry.quarantined_at:.0f}s is in the "
+                   f"future")
+    if engine.quarantine_leaks:
+        report("error", "reputation:selection",
+               f"{engine.quarantine_leaks} quarantined peers slipped into "
+               f"query answers (the admission filter must make this zero)")
+
+
+@register_checker(
+    "quarantine-exclusion",
+    "no directory entry for a peer inside its quarantine window",
+)
+def check_quarantine_exclusion(system: "NetSessionSystem", report: Report) -> None:
+    engine = system.reputation
+    if engine is None:
+        return
+    now = system.sim.now
+    quarantined = {
+        guid for guid, _ in engine.entries() if engine.is_quarantined(guid, now)
+    }
+    if not quarantined:
+        return
+    for dn in system.control.all_dns:
+        if not dn.alive:
+            continue
+        for cid, entries in dn.table.items():
+            for guid in entries:
+                if guid in quarantined:
+                    # Eviction is synchronous at quarantine time and the CN
+                    # refuses re-registration for the whole window, so an
+                    # entry here is a defense bypass, not tolerated drift.
+                    report("error", f"dn:{dn.name}:{guid[:8]}/{cid}",
+                           "directory entry for a quarantined peer")

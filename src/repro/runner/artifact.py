@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.logstore import LogStore
 from repro.core.system import SystemStats
-from repro.faults.metrics import FaultRecovery
+from repro.faults.metrics import FaultRecovery, adversary_metrics
 from repro.net.geo import GeoDatabase, World
 from repro.net.topology import ASTopology
 from repro.runner.fingerprint import fingerprint_config
@@ -63,6 +63,10 @@ class ScenarioArtifact:
     #: Recorded invariant violations, as dicts (see
     #: :meth:`repro.invariants.InvariantViolation.as_dict`).
     violations: tuple[dict, ...] = ()
+    #: Adversarial-defense outcome vs. ground truth (see
+    #: :func:`repro.faults.metrics.adversary_metrics`); {} for honest,
+    #: defenseless runs.
+    adversary: dict = field(default_factory=dict)
 
     @property
     def invariants(self):
@@ -108,6 +112,7 @@ def artifact_from_result(
         recoveries=recoveries,
         timeline=timeline,
         violations=tuple(v.as_dict() for v in result.system.auditor.report()),
+        adversary=adversary_metrics(result.system),
     )
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.adversary.profiles import AdversaryConfig, assign_adversaries
 from repro.analysis.logstore import LogStore
 from repro.core.config import SystemConfig
 from repro.core.peer import CacheEntry
@@ -73,6 +74,10 @@ class ScenarioConfig:
     #: policy installed, and no RNG stream touched, so every pre-existing
     #: scenario runs bit-identically.
     vod: VodConfig | None = None
+    #: Adversarial slice of the population (see :mod:`repro.adversary`).
+    #: None (the default) converts nobody and draws nothing: the honest
+    #: population is byte-identical whether or not this leaf exists.
+    adversary: AdversaryConfig | None = None
     #: Warm start: expected number of pre-trace cached copies per peer.  The
     #: paper's October 2012 window opens on a five-year-old deployment whose
     #: peers already hold popular content; a cold start would understate
@@ -208,6 +213,13 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
             )
     seed_warm_caches(system, population, catalog, cfg.warm_copies_per_peer,
                      random.Random(cfg.seed ^ 0x5EED))
+
+    if cfg.adversary is not None:
+        # After warm caches (so stale-advertiser peers have something to go
+        # stale on) and from a dedicated string-seeded RNG, so the honest
+        # peers' streams are untouched.
+        assign_adversaries(population.peers, cfg.adversary, cfg.seed,
+                           truth=system.adversary_truth)
 
     behavior = UserBehavior(system, cfg.behavior)
     behavior.schedule_setting_changes(population, cfg.duration_days)

@@ -323,6 +323,102 @@ class TestIntegrity:
         assert session.per_uploader_bytes.get(bad.guid, 0) == 0
 
 
+class TestCorruptionDefense:
+    """Unit-level checks on the session's anti-corruption bookkeeping."""
+
+    def _session(self, system, obj, peer=None):
+        from repro.core.swarm import DownloadSession
+        if peer is None:
+            peer = system.create_peer()
+        session = DownloadSession(system, peer, obj)
+        session.state = "active"
+        return session
+
+    def test_ban_triggers_exactly_at_threshold(self, system, big_object):
+        session = self._session(system, big_object)
+        ban = system.config.client.conn_corruption_ban
+        session.note_corruption("g", ban - 1)
+        assert "g" not in session.banned_uploaders
+        assert system.defense.uploader_bans == 0
+        session.note_corruption("g", 1)
+        assert "g" in session.banned_uploaders
+        assert system.defense.uploader_bans == 1
+        # Further corruption never double-counts the ban.
+        session.note_corruption("g", 5)
+        assert system.defense.uploader_bans == 1
+
+    def test_ban_aggregates_across_connections(self, system, big_object):
+        # The ban-evasion fix: each connection sees only one corrupt piece
+        # (below conn_corruption_ban), but the session-level aggregate bans.
+        from repro.core.swarm import PeerConnection
+        session = self._session(system, big_object)
+        bad = system.create_peer(uploads_enabled=True)
+        bad.piece_corruption_prob = 1.0
+        conns = [PeerConnection(session, bad) for _ in range(2)]
+        for conn, piece in zip(conns, (0, 1)):
+            conn._verify_and_deliver([piece])
+            assert conn.corrupted_pieces == 1
+        assert bad.guid in session.banned_uploaders
+        assert session.corrupt_by_uploader[bad.guid] == 2
+        assert session.corrupted_piece_count == 2
+        assert sorted(session.piece_pool) == [0, 1]  # both requeued
+        assert session.peer_bytes == 0
+
+    def test_requeue_filters_received_and_preserves_order(self, system,
+                                                          big_object):
+        session = self._session(system, big_object)
+        session.piece_pool = [0, 1]
+        session.received = {3}
+        session.requeue_pieces([5, 3, 7])
+        assert session.piece_pool == [0, 1, 5, 7]
+        # Requeueing is idempotent with respect to delivered pieces.
+        session.received.add(5)
+        session.requeue_pieces([5])
+        assert session.piece_pool == [0, 1, 5, 7]
+
+    def _mid_chunk_stop(self, system, big_object, corruption_prob):
+        """Abort a 2-piece peer chunk at 1.5 pieces transferred."""
+        from repro.core.content import PIECE_SIZE
+        from repro.core.swarm import Chunk, PeerConnection
+        session = self._session(system, big_object)
+        uploader = system.create_peer(uploads_enabled=True)
+        uploader.piece_corruption_prob = corruption_prob
+        conn = PeerConnection(session, uploader)
+        session.peer_conns.append(conn)
+        conn.chunk = Chunk([0, 1])
+        # Flow over the uplink alone: the sole flow runs at link capacity,
+        # so the stop time below lands deterministically mid-piece-1.
+        conn.flow = system.flows.start_flow(
+            [uploader.link.uplink], 2 * PIECE_SIZE,
+            on_complete=conn._on_chunk_done, meta=conn,
+        )
+        uploader.upload_flows.add(conn.flow)
+        system.run(until=1.5 * PIECE_SIZE / uploader.link.up_bps)
+        conn.stop(credit_partial=True)
+        return session, uploader
+
+    def test_credit_partial_delivers_completed_piece(self, system, big_object):
+        from repro.core.content import PIECE_SIZE
+        session, uploader = self._mid_chunk_stop(system, big_object, 0.0)
+        assert session.received == {0}
+        assert session.peer_bytes == PIECE_SIZE
+        assert session.per_uploader_bytes[uploader.guid] == PIECE_SIZE
+        assert session.piece_pool == [1]  # the half-transferred piece
+        assert session.corrupted_piece_count == 0
+
+    def test_credit_partial_discards_corrupt_completed_piece(self, system,
+                                                             big_object):
+        session, uploader = self._mid_chunk_stop(system, big_object, 1.0)
+        # Piece 0 transferred whole but failed the hash check: it is
+        # discarded, attributed, and requeued along with unfinished piece 1.
+        assert session.received == set()
+        assert session.peer_bytes == 0
+        assert session.corrupted_piece_count == 1
+        assert session.corrupt_by_uploader[uploader.guid] == 1
+        assert sorted(session.piece_pool) == [0, 1]
+        assert system.defense.corrupted_pieces == 1
+
+
 class TestAccountingIntegration:
     def test_honest_reports_accepted(self, swarm_scene):
         system, obj, seeders, downloader = swarm_scene

@@ -12,6 +12,7 @@ import os
 
 import pytest
 
+from repro.adversary.profiles import PROFILES
 from repro.fuzz import (
     FuzzSpec, generate, reproducer_script, run_seeds, run_spec, shrink,
 )
@@ -38,6 +39,8 @@ class TestGenerate:
             assert 1 <= spec.n_objects <= 3
             assert 2.0 <= spec.duration_hours <= 10.0
             assert spec.fault_at < 0.4 * spec.duration_hours * 3600.0
+            assert spec.adversary_fraction in (0.0, 0.15, 0.3)
+            assert spec.adversary_profile in (None,) + PROFILES
 
     def test_label_mentions_the_seed(self):
         assert "seed=9" in generate(9).label()
@@ -72,6 +75,26 @@ class TestRunSpec:
         assert a.completed_downloads == b.completed_downloads
         assert a.warnings == b.warnings
 
+    def test_adversarial_smoke_holds_strict_invariants(self):
+        # An infested swarm with the defense engaged must stay invariant-
+        # clean: quarantine eviction, reputation bounds, accounting
+        # conservation all hold while adversaries actively misbehave.
+        spec = dataclasses.replace(
+            generate(0), adversary_fraction=0.15, defense=True)
+        result = run_spec(spec)
+        assert result.ok, f"{result.spec.label()}: {result.failure}"
+        assert result.completed_downloads > 0
+
+    def test_adversary_knobs_are_orthogonal_to_honest_runs(self):
+        # Toggling the defense on a fully honest spec must not perturb the
+        # simulation: the reputation layer only *observes* honest traffic.
+        spec = dataclasses.replace(generate(1), adversary_fraction=0.0)
+        a = run_spec(dataclasses.replace(spec, defense=False))
+        b = run_spec(dataclasses.replace(spec, defense=True))
+        assert a.ok and b.ok
+        assert a.completed_downloads == b.completed_downloads
+        assert a.warnings == b.warnings
+
 
 class TestShrink:
     def test_shrinks_to_fixed_point(self):
@@ -95,6 +118,20 @@ class TestShrink:
         spec = FuzzSpec(seed=0, n_seeders=2, n_downloaders=2, object_mb=16,
                         n_objects=1, duration_hours=2.0)
         assert shrink(spec, still_fails=lambda s: True) == spec
+
+    def test_shrinks_adversaries_away_first(self):
+        # An adversarial slice that is irrelevant to the failure must
+        # vanish from the reproducer: shrink offers fraction=0/defense=off
+        # early, so the oracle keeps the minimal honest scenario.
+        spec = dataclasses.replace(
+            generate(3), adversary_fraction=0.3,
+            adversary_profile="corrupter", defense=True,
+            fault_scenario="cn_flap")
+        shrunk = shrink(
+            spec, still_fails=lambda s: s.fault_scenario is not None)
+        assert shrunk.adversary_fraction == 0.0
+        assert shrunk.adversary_profile is None
+        assert shrunk.defense is False
 
     def test_attempt_budget_respected(self):
         calls = []

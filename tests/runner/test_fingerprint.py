@@ -13,6 +13,7 @@ import dataclasses
 
 import pytest
 
+from repro.adversary import AdversaryConfig
 from repro.faults.scenarios import build_scenario
 from repro.vod import VodConfig
 from repro.runner import (
@@ -47,6 +48,10 @@ def _candidates(value, name):
         return [value + "x"]
     if name == "vod":  # Optional[VodConfig]; None means "no streaming layer"
         return [VodConfig()]
+    if name == "adversary":  # Optional[AdversaryConfig]; None = honest swarm
+        return [AdversaryConfig()]
+    if name == "profile_mix":  # fixed-length weight vector (one per profile)
+        return [(value[0] + 1.0,) + tuple(value[1:])]
     if value is None:  # Optional[float] knobs (egress caps, overrides)
         return [0.5]
     if isinstance(value, dict):  # e.g. DemandConfig.region_tz
@@ -144,6 +149,32 @@ def test_every_vod_knob_is_a_cache_key():
         count += 1
     assert count >= 15, f"vod sweep only covered {count} leaf fields"
     assert len(seen) == count + 1, "two distinct vod mutations collided"
+
+
+def test_adversary_none_and_default_do_not_collide():
+    # The adversarial slice is itself a cache key: attaching even an
+    # all-defaults AdversaryConfig must land in a different slot than None.
+    base = tiny_config()
+    with_adv = dataclasses.replace(base, adversary=AdversaryConfig())
+    assert fingerprint_config(base) != fingerprint_config(with_adv)
+
+
+def test_every_adversary_knob_is_a_cache_key():
+    # Same contract as the whole-tree sweep, scoped to the AdversaryConfig
+    # subtree (the top-level sweep can't reach it: the default is None).
+    base = dataclasses.replace(tiny_config(), adversary=AdversaryConfig())
+    base_fp = fingerprint_config(base)
+    seen = {base_fp}
+    count = 0
+    for name, mutant in _dataclass_mutations(base):
+        if not name.startswith("adversary."):
+            continue
+        fp = fingerprint_config(mutant)
+        assert fp != base_fp, f"mutating {name!r} did not change the fingerprint"
+        seen.add(fp)
+        count += 1
+    assert count >= 4, f"adversary sweep only covered {count} leaf fields"
+    assert len(seen) == count + 1, "two distinct adversary mutations collided"
 
 
 def test_distinct_configs_same_scale_and_seed_do_not_collide():
