@@ -137,18 +137,31 @@ def assign_adversaries(peers, config: AdversaryConfig, seed: int,
                        *, truth: dict | None = None) -> list[dict]:
     """Convert a seeded fraction of ``peers``; returns the revert tokens.
 
+    ``peers`` is a :class:`~repro.workload.population.Population` or any
+    sequence of peers.  A population selects through
+    :meth:`~repro.workload.population.Population.sample_peers`, whose draw
+    sequence depends only on the population size — so a columnar store
+    converts the same creation-order victims as the eager object graph,
+    materializing only the converted slice.
+
     Draws exclusively from ``random.Random(f"repro-adversary:{seed}")`` —
     the population's own RNG streams are untouched, so honest peers behave
     identically whether or not an adversarial slice exists.  ``truth``
     (usually ``NetSessionSystem.adversary_truth``) collects the guid →
     profile ground truth used by the false-positive-ban drill metric.
     """
-    if config.fraction <= 0 or not peers:
+    sampler = getattr(peers, "sample_peers", None)
+    count = peers.peer_count() if sampler is not None else len(peers)
+    if config.fraction <= 0 or not count:
         return []
     rng = random.Random(f"repro-adversary:{seed}")
-    n = max(1, round(config.fraction * len(peers)))
+    n = min(count, max(1, round(config.fraction * count)))
+    if sampler is not None:
+        selected = sampler(rng, n)
+    else:
+        selected = rng.sample(list(peers), n)
     tokens = []
-    for peer in rng.sample(list(peers), min(n, len(peers))):
+    for peer in selected:
         profile = choose_profile(rng, config.profile_mix)
         tokens.append(apply_profile(peer, profile, config))
         if truth is not None:

@@ -43,6 +43,12 @@ Commands
     recorded :class:`~repro.invariants.InvariantViolation`, deduplicated.
     Observe mode by default; ``--strict`` raises on the first error and
     exits non-zero, which is what CI wants.
+``scale``
+    Measure the peers-vs-wall scaling curve: lean scenarios at increasing
+    population sizes under the columnar store, ``active_peer_cap`` session
+    scheduling, and region-sharded execution.  Merges the measurements
+    into ``BENCH_scale.json`` (same trajectory shape as
+    ``BENCH_simcore.json``; gate with ``benchmarks/gate.py``).
 ``cache <ls|clear|verify>``
     Inspect the on-disk result cache: list entries with their scenario
     labels and staleness, clear everything, or verify payload digests
@@ -63,6 +69,7 @@ Examples
     python -m repro perf --scale small --profile
     python -m repro audit --scale small
     python -m repro audit --scenario rolling_upgrade --strict
+    python -m repro scale --peers 100000 --shards 2 --strict
     python -m repro cache ls
     python -m repro cache verify
 """
@@ -211,6 +218,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: InvariantConfig.every_events)")
     audit.add_argument("--json", action="store_true", dest="json_report",
                        help="emit the audit summary as JSON")
+
+    scale_cmd = sub.add_parser(
+        "scale",
+        help="measure the peers-vs-wall scaling curve (columnar + shards)",
+    )
+    scale_cmd.add_argument("--peers", type=int, nargs="+", metavar="N",
+                           default=[10_000, 100_000],
+                           help="population sizes to measure "
+                                "(default: 10000 100000)")
+    scale_cmd.add_argument("--days", type=float, default=3.0,
+                           help="trace length in days (default: 3.0)")
+    scale_cmd.add_argument("--seed", type=int, default=42)
+    scale_cmd.add_argument("--shards", default="auto", metavar="N",
+                           help="region-shard pool width: an integer, "
+                                "'auto' (REPRO_SHARDS or 2), or 'off' for "
+                                "the classic unsharded trace "
+                                "(default: auto)")
+    scale_cmd.add_argument("--strict", action="store_true",
+                           help="run every shard with the invariant "
+                                "sanitizer in strict mode")
+    scale_cmd.add_argument("--out", default="BENCH_scale.json", metavar="PATH",
+                           help="trajectory file to merge results into "
+                                "(default: BENCH_scale.json); 'none' skips "
+                                "recording")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache"
@@ -460,6 +491,32 @@ def _run_vod(args) -> int:
     return 0
 
 
+def _run_scale(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.exp_scale import record_curve, run_curve
+
+    if args.shards == "off":
+        shards: int | str | None = None
+    elif args.shards == "auto":
+        shards = "auto"
+    else:
+        try:
+            shards = int(args.shards)
+        except ValueError:
+            print(f"--shards must be an integer, 'auto', or 'off'; "
+                  f"got {args.shards!r}", file=sys.stderr)
+            return 2
+    output, results = run_curve(args.peers, seed=args.seed, days=args.days,
+                                shards=shards, strict=args.strict)
+    print(output.text)
+    if args.out != "none":
+        path = Path(args.out)
+        record_curve(results, path)
+        print(f"\nwrote {path}", file=sys.stderr)
+    return 0
+
+
 def _run_cache(args) -> int:
     from repro.runner import ResultCache
 
@@ -530,6 +587,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "audit":
         return _run_audit(args)
+
+    if args.command == "scale":
+        return _run_scale(args)
 
     if args.command == "cache":
         return _run_cache(args)

@@ -62,6 +62,10 @@ class IdentitySnapshot:
 class PeerNode:
     """One NetSession installation on one user machine."""
 
+    #: Row index in the columnar population store this node was materialized
+    #: from; None for object-mode peers and event-time extras (clones).
+    _store_index: int | None = None
+
     def __init__(
         self,
         system: "NetSessionSystem",
@@ -75,9 +79,15 @@ class PeerNode:
         installed_from_cp: int = 0,
         software_version: str | None = None,
         guid: str | None = None,
+        rng: random.Random | None = None,
     ):
         self.system = system
-        self.rng: random.Random = random.Random(system.rng.getrandbits(64))
+        # ``rng`` lets the columnar store materialize a peer with the exact
+        # per-peer stream object mode would have given it (replayed from the
+        # recorded 64-bit seed) without consuming a fresh system.rng draw.
+        self.rng: random.Random = (
+            rng if rng is not None else random.Random(system.rng.getrandbits(64))
+        )
         self.guid = guid if guid is not None else make_guid(self.rng)
         self.secondary_history: deque[str] = deque(maxlen=SECONDARY_HISTORY_LENGTH)
         # The version string identifies the bundle, as production installers

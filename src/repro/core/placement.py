@@ -132,7 +132,7 @@ class PredictivePlacer:
 
     def _pick_prefetcher(self, obj: "ContentObject", region: str):
         """An idle, online, upload-enabled peer in ``region`` lacking ``obj``."""
-        for peer in self.system.all_peers:
+        for peer in self.system.peer_universe():
             if (
                 peer.online
                 and peer.uploads_enabled

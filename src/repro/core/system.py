@@ -319,6 +319,14 @@ class NetSessionSystem:
 
         self.all_peers: list[PeerNode] = []
         self.peer_by_guid: dict[str, PeerNode] = {}
+        #: Monotonic per-system peer sequence, used to name access-link
+        #: resources.  Tracks creation order independently of ``all_peers``
+        #: so a columnar population (which materializes lazily) hands out
+        #: the same ``peerN`` names object mode would.
+        self._peer_seq = 0
+        #: The columnar population store, when the workload layer attached
+        #: one (see :mod:`repro.workload.columnar`); None in object mode.
+        self.population_store = None
         self.providers: dict[int, ContentProvider] = {}
         #: Streaming/serving-policy accumulator (stays all-zero unless a
         #: VoD workload is attached; see :mod:`repro.vod`).
@@ -377,7 +385,8 @@ class NetSessionSystem:
         city = self.world.sample_city(country, self.rng)
         asys = self.topology.sample_as(country.code, self.rng)
         link = self.broadband.sample(
-            f"peer{len(self.all_peers)}", speed_multiplier=country.speed_multiplier
+            f"peer{self.next_peer_name_index()}",
+            speed_multiplier=country.speed_multiplier,
         )
         nat = self.nat_model.sample()
         if uploads_enabled is None:
@@ -394,6 +403,12 @@ class NetSessionSystem:
         self.all_peers.append(peer)
         self.peer_by_guid[peer.guid] = peer
         return peer
+
+    def next_peer_name_index(self) -> int:
+        """Claim the next ``peerN`` naming slot (creation order, store-agnostic)."""
+        index = self._peer_seq
+        self._peer_seq += 1
+        return index
 
     def adopt_clone(self, peer: PeerNode) -> None:
         """Register a peer whose GUID collides with an existing install (§6.2).
@@ -430,7 +445,7 @@ class NetSessionSystem:
         the number of sessions finalized.
         """
         count = 0
-        for peer in self.all_peers:
+        for peer in self.iter_peer_nodes():
             for session in list(peer.sessions.values()):
                 if session.state in ("active", "paused"):
                     session.abort()
@@ -451,6 +466,45 @@ class NetSessionSystem:
 
     # ------------------------------------------------------------- inspection
 
+    def iter_peer_nodes(self) -> list[PeerNode]:
+        """Live :class:`PeerNode` objects, in creation order.
+
+        In object mode this is ``all_peers``.  With a columnar population
+        attached it is the *materialized* nodes in column order followed by
+        event-time extras (adopted clones) — the same relative order object
+        mode produces, which order-sensitive sweeps (end-of-trace session
+        finalization, stranded-peer reconnection) rely on for byte parity.
+        """
+        store = self.population_store
+        if store is None:
+            return list(self.all_peers)
+        nodes = store.materialized_nodes()
+        nodes.extend(p for p in self.all_peers if p._store_index is None)
+        return nodes
+
+    def peer_universe(self):
+        """Every known peer — dormant column rows included — in creation order.
+
+        Fault selection and population-wide sweeps draw from this sequence;
+        with a columnar store it serves lazy handles, so scanning the
+        universe does not materialize anyone.  Falls back to ``all_peers``
+        for systems built without a population (unit tests, the fuzzer).
+        """
+        store = self.population_store
+        if store is None:
+            return list(self.all_peers)
+        universe = list(store.handles())
+        universe.extend(p for p in self.all_peers if p._store_index is None)
+        return universe
+
+    def peer_count_total(self) -> int:
+        """Number of installations, dormant column rows included."""
+        store = self.population_store
+        if store is None:
+            return len(self.all_peers)
+        extras = sum(1 for p in self.all_peers if p._store_index is None)
+        return len(store) + extras
+
     def online_peer_count(self) -> int:
         """Peers currently online."""
         return sum(1 for p in self.all_peers if p.online)
@@ -463,7 +517,7 @@ class NetSessionSystem:
             sim_heap_pushes=self.sim.heap_pushes,
             sim_stale_pops=self.sim.stale_pops,
             pending_events=self.sim.pending_count(),
-            peers=len(self.all_peers),
+            peers=self.peer_count_total(),
             peers_online=self.online_peer_count(),
             active_flows=len(self.flows.active_flows),
             flows_completed=self.flows.completed_count,

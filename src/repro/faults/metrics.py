@@ -150,7 +150,7 @@ class RecoveryTracker:
         # cycle, so the pre-fault count may be naturally unreachable hours
         # later; the honest target is the smaller of the snapshot and the
         # peers that are online to reconnect right now.
-        online = sum(1 for p in self.system.all_peers if p.online)
+        online = self.system.online_peer_count()
         return int(self.recovery_fraction * min(self.recovery.pre_connected, online))
 
     def _registrations_target(self) -> int:

@@ -156,7 +156,7 @@ class CNOutage(FaultSpec):
         # Victims' peers already reconnected at crash time *if* a CN was
         # alive to take them; after a full outage they were stranded with
         # no CN at all and retry once service returns (§3.8).
-        plane.reconnect_stranded(ctx.system.all_peers)
+        plane.reconnect_stranded(ctx.system.iter_peer_nodes())
 
 
 @dataclass(frozen=True)
@@ -226,7 +226,7 @@ class ControlPlaneBlackout(FaultSpec):
         return None
 
     def revert(self, ctx: InjectionContext, token: object) -> None:
-        peers = None if self.self_recovery else ctx.system.all_peers
+        peers = None if self.self_recovery else ctx.system.iter_peer_nodes()
         ctx.system.control.restore(self.region, peers=peers)
 
 
@@ -258,7 +258,7 @@ class ControlMessageLoss(FaultSpec):
 
     def apply(self, ctx: InjectionContext) -> object:
         victims = []
-        for peer in ctx.select(ctx.system.all_peers, self.fraction):
+        for peer in ctx.select(ctx.system.peer_universe(), self.fraction):
             victims.append((peer, peer.channel.loss_prob))
             peer.channel.loss_prob = self.loss_prob
         return victims
@@ -290,7 +290,7 @@ class ControlLatencySpike(FaultSpec):
 
     def apply(self, ctx: InjectionContext) -> object:
         victims = []
-        for peer in ctx.select(ctx.system.all_peers, self.fraction):
+        for peer in ctx.select(ctx.system.peer_universe(), self.fraction):
             victims.append((peer, peer.channel.latency))
             peer.channel.latency = self.latency
         return victims
@@ -317,7 +317,7 @@ class RegionPartition(FaultSpec):
 
     def apply(self, ctx: InjectionContext) -> object:
         victims = []
-        for peer in ctx.system.all_peers:
+        for peer in ctx.system.peer_universe():
             if self.region is not None and peer.network_region != self.region:
                 continue
             if peer.channel.reachable:
@@ -376,7 +376,7 @@ class LinkDegradation(FaultSpec):
     def apply(self, ctx: InjectionContext) -> object:
         flows = ctx.system.flows
         victims = [
-            peer for peer in ctx.select(ctx.system.all_peers, self.fraction)
+            peer for peer in ctx.select(ctx.system.peer_universe(), self.fraction)
             if peer.link.degrade(flows, self.down_factor, self.up_factor)
         ]
         return victims
@@ -403,7 +403,7 @@ class NATRebind(FaultSpec):
     def apply(self, ctx: InjectionContext) -> object:
         nat_model = ctx.system.nat_model
         victims = []
-        for peer in ctx.select(ctx.system.all_peers, self.fraction):
+        for peer in ctx.select(ctx.system.peer_universe(), self.fraction):
             old = peer.nat_profile
             peer.rebind_nat(nat_model.rebind(old, ctx.rng))
             victims.append((peer, old))
@@ -440,7 +440,7 @@ class PeerChurnStorm(FaultSpec):
 
     def apply(self, ctx: InjectionContext) -> object:
         sim = ctx.system.sim
-        online = [p for p in ctx.system.all_peers if p.online]
+        online = [p for p in ctx.system.peer_universe() if p.online]
         lo, hi = self.downtime
         for peer in ctx.select(online, self.fraction):
             offset = ctx.rng.uniform(0.0, self.duration)
@@ -469,7 +469,7 @@ class FlakyUploader(FaultSpec):
             )
 
     def apply(self, ctx: InjectionContext) -> object:
-        uploaders = [p for p in ctx.system.all_peers if p.uploads_enabled]
+        uploaders = [p for p in ctx.system.peer_universe() if p.uploads_enabled]
         victims = []
         for peer in ctx.select(uploaders, self.fraction):
             victims.append((peer, peer.piece_corruption_prob))
@@ -530,7 +530,7 @@ class AdversarialInfestation(FaultSpec):
             slow_factor=self.slow_factor,
         )
         honest = [
-            p for p in ctx.system.all_peers if p.adversary_profile is None
+            p for p in ctx.system.peer_universe() if p.adversary_profile is None
         ]
         tokens = []
         for peer in ctx.select(honest, self.fraction):

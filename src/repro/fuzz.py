@@ -89,6 +89,12 @@ class FuzzSpec:
     adversary_profile: Optional[str] = None
     #: Run with the reputation/quarantine defense enabled.
     defense: bool = False
+    #: Pool width for an extra region-sharded mini-scenario run under
+    #: strict invariants after the classic fuzz run (0 skips it entirely:
+    #: no scenario is built and no extra RNG stream exists, so the run is
+    #: bit-identical to a pre-sharding fuzzer).  Exercises the columnar
+    #: store, lazy materialization, and the shard merge/reconcile pass.
+    shards: int = 0
 
     def label(self) -> str:
         """Compact identifier for logs and test ids."""
@@ -153,6 +159,7 @@ def generate(seed: int) -> FuzzSpec:
         adversary_fraction=rng.choice((0.0, 0.0, 0.0, 0.15, 0.3)),
         adversary_profile=rng.choice((None, None) + _PROFILES),
         defense=rng.random() < 0.5,
+        shards=rng.choice((0, 0, 0, 1, 2, 4)),
     )
 
 
@@ -306,6 +313,15 @@ def run_spec(spec: FuzzSpec) -> FuzzResult:
         system.run(until=horizon)
         system.finalize_open_downloads()
         system.audit(final=True)
+
+        # The sharded mini-scenario goes truly last — a second, tiny
+        # region-sharded ScenarioConfig run under strict invariants, built
+        # from its own seeds.  With shards == 0 nothing here exists and the
+        # run is bit-identical to a pre-sharding fuzzer.  Shard-isolation
+        # breaches surface as ValueError from the reconcile pass (a crash,
+        # not a recorded failure: the sweep must stop on those).
+        if spec.shards > 0:
+            _run_sharded_mini_scenario(spec)
     except InvariantViolationError as exc:
         return FuzzResult(spec=spec, failure=exc)
 
@@ -316,6 +332,42 @@ def run_spec(spec: FuzzSpec) -> FuzzResult:
         spec=spec, failure=None, completed_downloads=completed,
         warnings=system.auditor.warning_count(),
     )
+
+
+def _run_sharded_mini_scenario(spec: FuzzSpec) -> None:
+    """Run a tiny region-sharded scenario under strict invariants.
+
+    Every shard audits itself (strict mode raises inside the shard), and
+    the merge's reconcile pass checks cross-shard GUID isolation.  Scale
+    is deliberately tiny — the point is coverage of the columnar store +
+    lazy materialization + shard merge under audit, not throughput.
+    """
+    from repro.runner import run_scenario_artifact
+    from repro.workload.demand import DemandConfig
+    from repro.workload.population import PopulationConfig
+    from repro.workload.scenario import ScenarioConfig
+    from repro.workload.sharding import ShardingConfig
+
+    duration_days = min(spec.duration_hours, 6.0) / 24.0
+    config = ScenarioConfig(
+        seed=spec.seed,
+        duration_days=duration_days,
+        system=SystemConfig(
+            invariants=InvariantConfig(mode="strict",
+                                       every_events=spec.every_events),
+            flow_batching=spec.flow_batching,
+            kernel=spec.kernel,
+            defense=DefenseConfig(enabled=spec.defense),
+        ),
+        population=PopulationConfig(
+            n_peers=10 * (spec.n_seeders + spec.n_downloaders)),
+        demand=DemandConfig(
+            total_downloads=5 * spec.n_downloaders,
+            duration_days=duration_days),
+        sharding=ShardingConfig(shards=spec.shards),
+        warm_copies_per_peer=1.0,
+    )
+    run_scenario_artifact(config)
 
 
 def run_seed(seed: int) -> FuzzResult:
@@ -353,6 +405,8 @@ def _candidates(spec: FuzzSpec) -> list[FuzzSpec]:
                            adversary_profile=None))
     if spec.defense:
         out.append(replace(spec, defense=False))
+    if spec.shards:
+        out.append(replace(spec, shards=0))
     if spec.vod_streams:
         out.append(replace(spec, vod_streams=0, vod_policy=None))
     if spec.vod_policy is not None:

@@ -122,7 +122,7 @@ def check_flow_feasibility(system: "NetSessionSystem", report: Report) -> None:
     "per-session source counters == verified piece bytes, exactly",
 )
 def check_byte_conservation(system: "NetSessionSystem", report: Report) -> None:
-    for peer in system.all_peers:
+    for peer in system.iter_peer_nodes():
         for session in peer.sessions.values():
             subject = f"session:{peer.guid[:8]}/{session.obj.cid}"
             credited = session.edge_bytes + session.peer_bytes
@@ -226,7 +226,7 @@ def check_nat_symmetry(system: "NetSessionSystem", report: Report) -> None:
                    "BLOCKED peer reported reachable")
     if abs(sum(DEFAULT_NAT_MIX.values()) - 1.0) > 1e-9:
         report("error", "mix:default", "DEFAULT_NAT_MIX does not sum to 1")
-    for peer in system.all_peers:
+    for peer in system.iter_peer_nodes():
         profile = peer.nat_profile
         if not isinstance(profile.true_type, NATType) \
                 or not isinstance(profile.reported_type, NATType):
@@ -301,7 +301,7 @@ def check_sim_heap(system: "NetSessionSystem", report: Report) -> None:
     "per-peer breaker state machine in a legal configuration",
 )
 def check_channel_state(system: "NetSessionSystem", report: Report) -> None:
-    for peer in system.all_peers:
+    for peer in system.iter_peer_nodes():
         ch = peer.channel
         subject = f"channel:{peer.guid[:8]}"
         if ch.state not in ALL_STATES:

@@ -8,7 +8,9 @@ Four pieces, layered:
 * :mod:`~repro.runner.cache` — the on-disk, namespace-versioned result
   cache (``.repro-cache/``, managed by ``repro cache``);
 * :mod:`~repro.runner.orchestrator` — fingerprint-deduplicated scheduling
-  over a process pool, merging results in caller order.
+  over a process pool, merging results in caller order;
+* :mod:`~repro.runner.sharding` — region-sharded execution: factor one
+  scenario per geographic region, fan out, merge, reconcile.
 
 The contract, enforced by ``tests/runner/``: any pipeline built on this
 package renders byte-identical output for ``--jobs 1`` and ``--jobs N``,
@@ -24,6 +26,9 @@ from repro.runner.fingerprint import (
     fingerprint_config,
 )
 from repro.runner.orchestrator import Orchestrator, default_jobs, parallel_map
+from repro.runner.sharding import (
+    merge_shard_artifacts, run_sharded_artifact, shard_configs,
+)
 
 __all__ = [
     "ScenarioArtifact", "artifact_from_result", "run_scenario_artifact",
@@ -31,4 +36,5 @@ __all__ = [
     "CACHE_SCHEMA_VERSION", "cache_namespace", "canonicalize",
     "code_fingerprint", "fingerprint_config",
     "Orchestrator", "parallel_map", "default_jobs",
+    "merge_shard_artifacts", "run_sharded_artifact", "shard_configs",
 ]

@@ -67,6 +67,11 @@ class ScenarioArtifact:
     #: :func:`repro.faults.metrics.adversary_metrics`); {} for honest,
     #: defenseless runs.
     adversary: dict = field(default_factory=dict)
+    #: Region-shard record for sharded runs (see
+    #: :mod:`repro.runner.sharding`): shard regions, resolved pool width,
+    #: per-region peer counts, and — when ``reconcile`` is on — the
+    #: cross-region reconciliation matrix.  {} for unsharded runs.
+    sharding: dict = field(default_factory=dict)
 
     @property
     def invariants(self):
@@ -123,5 +128,14 @@ def run_scenario_artifact(config: ScenarioConfig) -> ScenarioArtifact:
     RNG from the config, so the artifact is identical whether this runs in
     the parent process, a pool worker, or a worker with deliberately
     polluted global RNG state.
+
+    A config with ``sharding`` set dispatches to the region sharder (see
+    :mod:`repro.runner.sharding`), which factors the scenario per region,
+    fans the sub-scenarios across its own pool, and merges — equally
+    deterministic from the config alone.
     """
+    if config.sharding is not None:
+        from repro.runner.sharding import run_sharded_artifact
+
+        return run_sharded_artifact(config)
     return artifact_from_result(run_scenario(config))

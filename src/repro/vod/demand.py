@@ -79,7 +79,7 @@ class VodDemandGenerator:
         self._episodes = catalog.episodes()
         self._weights = catalog.weights(config)
         self._peers_by_region: dict[str, list["PeerNode"]] = {}
-        for peer in population.peers:
+        for peer in population.iter_peers():
             self._peers_by_region.setdefault(peer.geo_region, []).append(peer)
         self.sessions_requested = 0
         self.sessions_dropped = 0

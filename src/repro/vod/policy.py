@@ -212,7 +212,7 @@ class PopularitySeedingPolicy(ServingPolicy):
         if not episodes or config.seed_copies_per_episode <= 0:
             return 0
         weights = catalog.weights(config)
-        hosts = [p for p in population.peers if p.uploads_enabled]
+        hosts = [p for p in population.iter_peers() if p.uploads_enabled]
         if not hosts:
             return 0
         total = int(round(config.seed_copies_per_episode * len(episodes)))

@@ -150,7 +150,7 @@ class UserBehavior:
             return 0
         horizon = duration_days * DAY
         scheduled = 0
-        for peer in population.peers:
+        for peer in population.iter_peers():
             # Poisson-ish: expected busy periods over the trace.
             expected = prob_per_hour * duration_days * 24.0
             t = rng.expovariate(max(expected, 1e-9) / horizon)
@@ -176,7 +176,7 @@ class UserBehavior:
         rng = self.rng
         horizon = duration_days * DAY
         scheduled = 0
-        for peer in population.peers:
+        for peer in population.iter_peers():
             if peer.uploads_enabled:
                 p_once, p_twice = cfg.toggle_once_if_enabled, cfg.toggle_twice_if_enabled
             else:

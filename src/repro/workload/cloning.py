@@ -70,7 +70,7 @@ class CloningModel:
         weights = (cfg.failed_update_weight, cfg.restored_backup_weight,
                    cfg.reimaging_weight, cfg.irregular_weight)
         census = {p: 0 for p in self.PATTERNS}
-        for peer in population.peers:
+        for peer in population.iter_peers():
             if self.rng.random() >= cfg.affected_fraction:
                 continue
             pattern = self.rng.choices(self.PATTERNS, weights=weights, k=1)[0]

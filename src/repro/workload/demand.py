@@ -84,7 +84,7 @@ class DemandGenerator:
         self.rng = random.Random(system.rng.getrandbits(64))
         self._peers_by_region: dict[str, list[PeerNode]] = {}
         self._peers_by_region_cp: dict[tuple[str, int], list[PeerNode]] = {}
-        for peer in population.peers:
+        for peer in population.iter_peers():
             self._peers_by_region.setdefault(peer.geo_region, []).append(peer)
             key = (peer.geo_region, peer.installed_from_cp)
             self._peers_by_region_cp.setdefault(key, []).append(peer)

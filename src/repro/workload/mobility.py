@@ -77,7 +77,7 @@ class MobilityModel:
         Returns the class census (class name -> count).
         """
         census = {"stationary": 0, "commuter": 0, "roamer": 0, "traveler": 0}
-        for peer in population.peers:
+        for peer in population.iter_peers():
             cls = self._draw_class()
             self.classes[peer.guid] = cls
             census[cls] += 1

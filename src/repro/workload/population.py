@@ -10,13 +10,26 @@ Also drives the **online-session process**: NetSession runs whenever the
 user is logged in (§3.4), so sessions track the user's computer-use day —
 long daily sessions with a diurnal phase per timezone, unlike the short
 sessions of launch-on-demand p2p clients.
+
+Two interchangeable stores back the population (``PopulationConfig.store``):
+
+* ``object`` — the original eager graph: one :class:`PeerNode` per install.
+* ``columnar`` — a struct-of-arrays store with lazy materialization
+  (:mod:`repro.workload.columnar`), byte-for-byte equivalent by contract
+  (``tests/scale/``) and the only store that reaches paper-scale
+  populations (§4.1's tens of millions).
+
+``auto`` resolves through ``REPRO_POPULATION_STORE`` the way the flow
+kernel resolves through ``REPRO_KERNEL``, and is a cache key once resolved.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import random
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.content import ContentProvider
 from repro.core.peer import PeerNode
@@ -26,6 +39,8 @@ from repro.net.lan import LanSite
 __all__ = ["PopulationConfig", "Population", "build_population", "diurnal_rate"]
 
 DAY = 24 * 3600.0
+
+_STORES = ("auto", "object", "columnar")
 
 
 @dataclass(frozen=True)
@@ -48,6 +63,17 @@ class PopulationConfig:
     corporate_fraction: float = 0.0
     #: Site size range (machines per office), inclusive.
     site_size_range: tuple[int, int] = (8, 40)
+    #: Population store: "object" (eager PeerNode graph), "columnar"
+    #: (struct-of-arrays + lazy materialization), or "auto" (resolve
+    #: through the ``REPRO_POPULATION_STORE`` env var; columnar default).
+    #: The two stores are byte-for-byte equivalent (``tests/scale/``).
+    store: str = "auto"
+    #: When set, only this many peers (a seeded uniform subset) get daily
+    #: online-session schedules; the rest stay dormant until demand or a
+    #: fault touches them.  Million-peer scenarios need it — scheduling
+    #: 40 days of boot/shutdown cycles for every install would swamp the
+    #: event heap before the trace starts.  None (default) schedules all.
+    active_peer_cap: int | None = None
 
     def __post_init__(self):
         if self.n_peers <= 0:
@@ -56,11 +82,37 @@ class PopulationConfig:
             raise ValueError("broken_fraction must be in [0, 1]")
         if not 0 < self.mean_daily_uptime_hours <= 24:
             raise ValueError("mean_daily_uptime_hours must be in (0, 24]")
+        if self.store not in _STORES:
+            raise ValueError(f"store must be one of {_STORES}, got {self.store!r}")
+        if self.active_peer_cap is not None and self.active_peer_cap <= 0:
+            raise ValueError("active_peer_cap must be positive (or None)")
+
+    def resolve_store(self) -> str:
+        """The concrete store "auto" means right now (an env indirection).
+
+        Mirrors :meth:`repro.core.config.SystemConfig.resolve_kernel`: the
+        fingerprint layer hashes the *resolved* value, so an object-store
+        run and a columnar run never share a cache slot even though their
+        outputs are byte-identical by contract.
+        """
+        if self.store != "auto":
+            return self.store
+        env = os.environ.get("REPRO_POPULATION_STORE", "").strip().lower()
+        if env in ("object", "columnar"):
+            return env
+        return "columnar"
 
 
 @dataclass
 class Population:
-    """The installed base plus per-peer session schedules."""
+    """The installed base plus per-peer session schedules.
+
+    ``peers`` is a list of :class:`PeerNode` in object mode, or a sequence
+    view of lazy handles over the columnar store — both support ``len``,
+    indexing, and iteration.  Prefer :meth:`iter_peers` /
+    :meth:`sample_peers` in workload code: they spell out the contract that
+    a full scan must not materialize anyone.
+    """
 
     peers: list[PeerNode]
     #: Local-midnight offset (seconds) per peer, derived from longitude.
@@ -68,6 +120,8 @@ class Population:
     always_on: set[str]
     #: Corporate LAN sites, keyed by site id (§5.3 extension).
     sites: dict[str, "LanSite"] = None  # type: ignore[assignment]
+    #: The columnar store behind ``peers`` (None in object mode).
+    store: object = None
 
     def __post_init__(self):
         if self.sites is None:
@@ -76,6 +130,73 @@ class Population:
     def peer_count(self) -> int:
         """Number of installations."""
         return len(self.peers)
+
+    def iter_peers(self) -> Iterator[PeerNode]:
+        """Iterate the installed base in creation order.
+
+        The one sanctioned way to write a population-wide scan: with a
+        columnar store it yields lazy handles whose reads come from the
+        columns, so sweeping a million peers materializes none of them.
+        """
+        return iter(self.peers)
+
+    def sample_peers(self, rng: random.Random, k: int) -> list[PeerNode]:
+        """Draw ``k`` distinct peers with ``rng.sample`` semantics.
+
+        The draw sequence depends only on the population size, so object
+        and columnar stores select the same creation-order indexes from
+        the same RNG state — fault and adversary selections stay parity.
+        """
+        k = min(k, self.peer_count())
+        if self.store is None:
+            return rng.sample(list(self.peers), k)
+        store = self.store
+        return [store.handle(i) for i in rng.sample(range(len(store)), k)]
+
+    def override_upload_settings(self, rng: random.Random, probability: float) -> None:
+        """Re-draw every peer's uploads-enabled flag (the Table 4 override).
+
+        One ``rng.random()`` per peer in creation order in both stores;
+        dormant columnar rows take the new value without materializing.
+        """
+        if self.store is None:
+            for peer in self.peers:
+                peer.uploads_enabled = rng.random() < probability
+            return
+        store = self.store
+        for i in range(len(store)):
+            value = rng.random() < probability
+            node = store._nodes.get(i)
+            if node is not None:
+                node.uploads_enabled = value
+            else:
+                store.uploads[i] = 1 if value else 0
+
+    def _set_lan(self, peer, site: "LanSite") -> None:
+        """Attach a peer to a LAN site without forcing materialization."""
+        store = self.store
+        if store is not None and getattr(peer, "_i", None) is not None \
+                and not isinstance(peer, PeerNode):
+            node = store._nodes.get(peer._i)
+            if node is None:
+                store._lan[peer._i] = site
+                return
+            node.lan = site
+            return
+        peer.lan = site
+
+    def _session_rows(self):
+        """(peer, tz_offset, always_on) per install, in creation order."""
+        store = self.store
+        if store is None:
+            return (
+                (p, self.tz_offset[p.guid], p.guid in self.always_on)
+                for p in self.peers
+            )
+        return (
+            (store.handle(i), float(store.tz[i]), bool(store.always_on[i]))
+            for i in range(len(store))
+        )
 
 
 def build_population(
@@ -87,28 +208,44 @@ def build_population(
 
     Each peer is attributed to the provider it first installed from,
     weighted by that provider's share of downloads — so the Table 4
-    upload-default mix emerges naturally.
+    upload-default mix emerges naturally.  The two stores consume the RNG
+    streams identically; everything after this call is store-agnostic.
     """
     cfg = config if config is not None else PopulationConfig()
     rng = random.Random(system.rng.getrandbits(64))
-    peers: list[PeerNode] = []
-    tz_offset: dict[str, float] = {}
-    always_on: set[str] = set()
 
-    for _ in range(cfg.n_peers):
-        installed_from = rng.choice(providers) if providers else None
-        peer = system.create_peer(installed_from=installed_from)
-        if rng.random() < cfg.broken_fraction:
-            peer.piece_corruption_prob = cfg.broken_corruption_prob
-        if rng.random() < cfg.attacker_fraction:
-            peer.accounting_attacker = True
-        peers.append(peer)
-        # Local solar time from longitude: 15 degrees per hour.
-        tz_offset[peer.guid] = (peer.city.lon / 15.0) * 3600.0
-        if rng.random() < cfg.always_on_fraction:
-            always_on.add(peer.guid)
+    if cfg.resolve_store() == "columnar":
+        from repro.workload.columnar import build_columnar_store
 
-    population = Population(peers=peers, tz_offset=tz_offset, always_on=always_on)
+        store = build_columnar_store(system, providers, cfg, rng)
+        system.population_store = store
+        population = Population(
+            peers=store.peers_view(),
+            tz_offset=store.tz_view(),
+            always_on={g for g, flag in zip(store.guids, store.always_on) if flag},
+            store=store,
+        )
+    else:
+        peers: list[PeerNode] = []
+        tz_offset: dict[str, float] = {}
+        always_on: set[str] = set()
+
+        for _ in range(cfg.n_peers):
+            installed_from = rng.choice(providers) if providers else None
+            peer = system.create_peer(installed_from=installed_from)
+            if rng.random() < cfg.broken_fraction:
+                peer.piece_corruption_prob = cfg.broken_corruption_prob
+            if rng.random() < cfg.attacker_fraction:
+                peer.accounting_attacker = True
+            peers.append(peer)
+            # Local solar time from longitude: 15 degrees per hour.
+            tz_offset[peer.guid] = (peer.city.lon / 15.0) * 3600.0
+            if rng.random() < cfg.always_on_fraction:
+                always_on.add(peer.guid)
+
+        population = Population(
+            peers=peers, tz_offset=tz_offset, always_on=always_on)
+
     _assign_corporate_sites(population, cfg, rng)
     _schedule_sessions(system, population, cfg, rng)
     return population
@@ -123,9 +260,9 @@ def _assign_corporate_sites(population: Population, cfg: PopulationConfig,
     """
     if cfg.corporate_fraction <= 0:
         return
-    target = int(round(cfg.corporate_fraction * len(population.peers)))
+    target = int(round(cfg.corporate_fraction * population.peer_count()))
     buckets: dict[tuple[str, str, int], list[PeerNode]] = {}
-    for peer in population.peers:
+    for peer in population.iter_peers():
         key = (peer.country_code, peer.city.name, peer.asn)
         buckets.setdefault(key, []).append(peer)
 
@@ -142,7 +279,7 @@ def _assign_corporate_sites(population: Population, cfg: PopulationConfig,
             site = LanSite(f"site-{site_index:04d}")
             site_index += 1
             for member in members:
-                member.lan = site
+                population._set_lan(member, site)
                 site.add_member(member.guid)
             population.sites[site.site_id] = site
             placed += len(members)
@@ -154,20 +291,27 @@ def _schedule_sessions(
     cfg: PopulationConfig,
     rng: random.Random,
 ) -> None:
-    """Schedule boot/shutdown cycles for every peer.
+    """Schedule boot/shutdown cycles for every (scheduled) peer.
 
     Always-on peers boot once.  Daily-cycle peers boot each local morning
     (with jitter) and shut down after a sampled uptime; a small per-day skip
-    probability models days the machine stays off.
+    probability models days the machine stays off.  With
+    ``active_peer_cap`` set, a seeded uniform subset of that size gets
+    schedules and the rest stay dormant until demand boots them.
     """
     sim = system.sim
-    for peer in population.peers:
-        if peer.guid in population.always_on:
+    count = population.peer_count()
+    chosen = None
+    if cfg.active_peer_cap is not None and cfg.active_peer_cap < count:
+        chosen = set(rng.sample(range(count), cfg.active_peer_cap))
+    uptime_mean = cfg.mean_daily_uptime_hours * 3600.0
+    for index, (peer, tz, is_always_on) in enumerate(population._session_rows()):
+        if chosen is not None and index not in chosen:
+            continue
+        if is_always_on:
             sim.schedule(rng.uniform(0, 3600.0), peer.boot)
             continue
-        offset = population.tz_offset[peer.guid]
-        uptime_mean = cfg.mean_daily_uptime_hours * 3600.0
-        _schedule_peer_days(system, peer, offset, uptime_mean, rng)
+        _schedule_peer_days(system, peer, tz, uptime_mean, rng)
 
 
 def _schedule_peer_days(

@@ -34,6 +34,7 @@ from repro.workload.demand import DemandConfig, DemandGenerator
 from repro.vod.config import VodConfig
 from repro.workload.mobility import MobilityConfig, MobilityModel
 from repro.workload.population import DAY, Population, PopulationConfig, build_population
+from repro.workload.sharding import ShardingConfig
 
 __all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario"]
 
@@ -78,6 +79,14 @@ class ScenarioConfig:
     #: None (the default) converts nobody and draws nothing: the honest
     #: population is byte-identical whether or not this leaf exists.
     adversary: AdversaryConfig | None = None
+    #: Region-sharded execution (see :mod:`repro.workload.sharding`).  None
+    #: (the default) runs the classic single trace; a config factors the
+    #: scenario into per-region sub-scenarios fanned across the runner's
+    #: process pool and merged — a *different* (region-factored) trace from
+    #: the unsharded one, but byte-invariant to the shard width and store.
+    #: Sharded runs dispatch through
+    #: :func:`repro.runner.run_scenario_artifact`, not :func:`run_scenario`.
+    sharding: ShardingConfig | None = None
     #: Warm start: expected number of pre-trace cached copies per peer.  The
     #: paper's October 2012 window opens on a five-year-old deployment whose
     #: peers already hold popular content; a cold start would understate
@@ -153,9 +162,9 @@ def seed_warm_caches(
         catalog.weights[catalog.objects.index(obj)] for obj in p2p_objects
     ]
     by_cp: dict[int, list] = {}
-    for peer in population.peers:
+    for peer in population.iter_peers():
         by_cp.setdefault(peer.installed_from_cp, []).append(peer)
-    total = int(round(copies_per_peer * len(population.peers)))
+    total = int(round(copies_per_peer * population.peer_count()))
     #: Leave headroom in every provider pool so in-trace demand still finds
     #: peers who don't already hold the flagship objects.
     saturation_cap = 0.6
@@ -184,12 +193,24 @@ def seed_warm_caches(
     return seeded
 
 
-def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
-    """Build, run, and finalize one synthetic trace."""
+def run_scenario(
+    config: ScenarioConfig | None = None,
+    *,
+    world: World | None = None,
+    topology: ASTopology | None = None,
+) -> ScenarioResult:
+    """Build, run, and finalize one synthetic trace.
+
+    ``world``/``topology`` override the internally built ones; the region
+    sharder passes a region-filtered world over the full parent topology so
+    shard peers keep globally consistent AS numbers and IP prefixes.
+    """
     cfg = config if config is not None else ScenarioConfig()
 
-    world = build_core_world(extra_territories=cfg.extra_territories, seed=cfg.seed)
-    topology = build_topology(world, random.Random(cfg.seed ^ 0x70_70))
+    if world is None:
+        world = build_core_world(extra_territories=cfg.extra_territories, seed=cfg.seed)
+    if topology is None:
+        topology = build_topology(world, random.Random(cfg.seed ^ 0x70_70))
     system = NetSessionSystem(
         cfg.system,
         seed=cfg.seed,
@@ -206,11 +227,9 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
 
     population = build_population(system, catalog.providers, cfg.population)
     if cfg.upload_rate_override is not None:
-        override_rng = random.Random(cfg.seed ^ 0x0FF)
-        for peer in population.peers:
-            peer.uploads_enabled = (
-                override_rng.random() < cfg.upload_rate_override
-            )
+        population.override_upload_settings(
+            random.Random(cfg.seed ^ 0x0FF), cfg.upload_rate_override
+        )
     seed_warm_caches(system, population, catalog, cfg.warm_copies_per_peer,
                      random.Random(cfg.seed ^ 0x5EED))
 
@@ -218,7 +237,7 @@ def run_scenario(config: ScenarioConfig | None = None) -> ScenarioResult:
         # After warm caches (so stale-advertiser peers have something to go
         # stale on) and from a dedicated string-seeded RNG, so the honest
         # peers' streams are untouched.
-        assign_adversaries(population.peers, cfg.adversary, cfg.seed,
+        assign_adversaries(population, cfg.adversary, cfg.seed,
                            truth=system.adversary_truth)
 
     behavior = UserBehavior(system, cfg.behavior)

@@ -16,6 +16,7 @@ import pytest
 from repro.adversary import AdversaryConfig
 from repro.faults.scenarios import build_scenario
 from repro.vod import VodConfig
+from repro.workload.sharding import ShardingConfig
 from repro.runner import (
     CACHE_SCHEMA_VERSION, cache_namespace, canonicalize, code_fingerprint,
     fingerprint_config,
@@ -35,6 +36,12 @@ def _candidates(value, name):
         return ["strict" if value != "strict" else "observe"]
     if name == "kernel":  # constrained choice; 'auto' resolves before hashing
         return ["python" if value != "python" else "numpy"]
+    if name == "store":  # constrained choice; 'auto' resolves before hashing
+        return ["object" if value != "object" else "columnar"]
+    if name == "shards":  # positive int or 'auto' (resolves before hashing)
+        return [4 if value != 4 else 2]
+    if name == "active_peer_cap":  # Optional[int]; None = every peer active
+        return [1000]
     if isinstance(value, bool):
         return [not value]
     if isinstance(value, int):
@@ -50,6 +57,8 @@ def _candidates(value, name):
         return [VodConfig()]
     if name == "adversary":  # Optional[AdversaryConfig]; None = honest swarm
         return [AdversaryConfig()]
+    if name == "sharding":  # Optional[ShardingConfig]; None = single trace
+        return [ShardingConfig()]
     if name == "profile_mix":  # fixed-length weight vector (one per profile)
         return [(value[0] + 1.0,) + tuple(value[1:])]
     if value is None:  # Optional[float] knobs (egress caps, overrides)
@@ -177,6 +186,34 @@ def test_every_adversary_knob_is_a_cache_key():
     assert len(seen) == count + 1, "two distinct adversary mutations collided"
 
 
+def test_sharding_none_and_default_do_not_collide():
+    # Sharded execution is itself a cache key even though shards=1 and
+    # shards=4 are byte-identical by construction: the region-factored
+    # trace differs from the classic single trace, so attaching even an
+    # all-defaults ShardingConfig must land in a different slot than None.
+    base = tiny_config()
+    with_sharding = dataclasses.replace(base, sharding=ShardingConfig())
+    assert fingerprint_config(base) != fingerprint_config(with_sharding)
+
+
+def test_every_sharding_knob_is_a_cache_key():
+    # Same contract as the whole-tree sweep, scoped to the ShardingConfig
+    # subtree (the top-level sweep can't reach it: the default is None).
+    base = dataclasses.replace(tiny_config(), sharding=ShardingConfig())
+    base_fp = fingerprint_config(base)
+    seen = {base_fp}
+    count = 0
+    for name, mutant in _dataclass_mutations(base):
+        if not name.startswith("sharding."):
+            continue
+        fp = fingerprint_config(mutant)
+        assert fp != base_fp, f"mutating {name!r} did not change the fingerprint"
+        seen.add(fp)
+        count += 1
+    assert count >= 2, f"sharding sweep only covered {count} leaf fields"
+    assert len(seen) == count + 1, "two distinct sharding mutations collided"
+
+
 def test_distinct_configs_same_scale_and_seed_do_not_collide():
     # Regression for the old (scale, seed)-keyed cache: two experiments
     # tweaking different knobs of the same scale/seed must never share an
@@ -238,6 +275,36 @@ def test_auto_kernel_resolves_through_env(monkeypatch):
     assert numpy_fp != python_fp
     assert numpy_fp == fingerprint_config(SystemConfig(kernel="numpy"))
     assert python_fp == fingerprint_config(SystemConfig(kernel="python"))
+
+
+def test_auto_store_resolves_through_env(monkeypatch):
+    # Same env-indirection contract as kernel: the population store 'auto'
+    # hashes as whatever REPRO_POPULATION_STORE makes it mean at run time,
+    # so an object-graph run never shares a slot with a columnar run.
+    from repro.workload.population import PopulationConfig
+
+    auto = PopulationConfig(store="auto")
+    monkeypatch.setenv("REPRO_POPULATION_STORE", "object")
+    object_fp = fingerprint_config(auto)
+    monkeypatch.setenv("REPRO_POPULATION_STORE", "columnar")
+    columnar_fp = fingerprint_config(auto)
+    assert object_fp != columnar_fp
+    assert object_fp == fingerprint_config(PopulationConfig(store="object"))
+    assert columnar_fp == fingerprint_config(PopulationConfig(store="columnar"))
+
+
+def test_auto_shards_resolves_through_env(monkeypatch):
+    # 'auto' shard width is an env indirection (REPRO_SHARDS): the
+    # fingerprint hashes the resolved width so byte-parity across widths
+    # stays a checked contract, never a cache hit.
+    auto = ShardingConfig(shards="auto")
+    monkeypatch.setenv("REPRO_SHARDS", "1")
+    one_fp = fingerprint_config(auto)
+    monkeypatch.setenv("REPRO_SHARDS", "4")
+    four_fp = fingerprint_config(auto)
+    assert one_fp != four_fp
+    assert one_fp == fingerprint_config(ShardingConfig(shards=1))
+    assert four_fp == fingerprint_config(ShardingConfig(shards=4))
 
 
 # ------------------------------------------------------- cache namespacing

@@ -1,0 +1,76 @@
+"""Fixtures and helpers for the scale-parity test layer.
+
+The contract under test: the columnar population store and the region
+sharder are pure *representation* changes — every byte of trace output is
+identical to the object-graph, single-process seed implementation.  The
+helpers here canonicalize a scenario's output into a digest that ignores
+representation (object identity, pickle memoization, dict iteration quirks)
+and captures values only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pickle
+import random
+
+from repro.core.system import NetSessionSystem
+from repro.workload import (
+    CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig,
+)
+from repro.workload.catalog import build_catalog
+from repro.workload.population import build_population
+
+
+def build_store_world(store: str, seed: int = 11, **population_overrides):
+    """Build a small system + population under one store implementation.
+
+    Returns ``(system, catalog, population)``.  The catalog/provider setup
+    mirrors :func:`repro.workload.scenario.run_scenario` so the population
+    build consumes the exact same RNG streams a scenario would.
+    """
+    system = NetSessionSystem(seed=seed)
+    catalog = build_catalog(
+        random.Random(seed ^ 0xCA7), CatalogConfig(objects_per_provider=4)
+    )
+    for provider in catalog.providers:
+        system.register_provider(provider)
+    for obj in catalog.objects:
+        system.publish(obj)
+    cfg = PopulationConfig(store=store, **population_overrides)
+    population = build_population(system, catalog.providers, cfg)
+    return system, catalog, population
+
+
+def tiny_scenario(seed: int = 5, **overrides) -> ScenarioConfig:
+    """A sub-second scenario with a real trace (mirrors tests/runner)."""
+    base = ScenarioConfig(
+        seed=seed,
+        duration_days=0.5,
+        population=PopulationConfig(n_peers=120),
+        demand=DemandConfig(total_downloads=150, duration_days=0.5),
+        catalog=CatalogConfig(objects_per_provider=6),
+    )
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+def trace_digest(artifact) -> str:
+    """Value-canonical digest of everything the analysis layer reads.
+
+    Records are hashed one at a time: a whole-list pickle would also hash
+    the object-sharing structure (in-process runs intern strings across
+    records; pool workers don't), which is representation, not value.
+    """
+    h = hashlib.sha256()
+    store = artifact.logstore
+    for records in (store.downloads, store.logins, store.registrations):
+        for rec in records:
+            h.update(pickle.dumps(rec))
+    for ip, record in sorted(artifact.geodb._records.items()):
+        h.update(pickle.dumps((ip, record)))
+    h.update(pickle.dumps(artifact.stats.as_dict()))
+    h.update(pickle.dumps(sorted(artifact.mobility_census.items())))
+    h.update(pickle.dumps(sorted(artifact.cloning_census.items())))
+    h.update(pickle.dumps(artifact.finalized_downloads))
+    return h.hexdigest()

@@ -1,0 +1,53 @@
+"""The scaling-curve runner and its BENCH_scale.json trajectory."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.exp_scale import bench_name, record_curve, run_curve
+
+pytestmark = pytest.mark.scale
+
+
+def test_bench_name_buckets():
+    assert bench_name(1_000_000) == "scale_1m"
+    assert bench_name(100_000) == "scale_100k"
+    assert bench_name(2_000) == "scale_2k"
+    assert bench_name(1_500) == "scale_1500"
+
+
+def test_run_curve_entries_are_gateable(tmp_path):
+    output, results = run_curve([2_000], seed=7, days=0.5, shards=2)
+    entry = results["scale_2k"]
+    # The gate reads wall_seconds at the entry's top level.
+    assert entry["wall_seconds"] > 0
+    assert entry["peers"] == 2_000
+    assert entry["shards"] == 2
+    assert entry["downloads"] > 0
+    assert "scale_2k" in output.metrics
+    assert "2,000" in output.text
+
+    path = tmp_path / "BENCH_scale.json"
+    record_curve(results, path)
+    record_curve(results, path)  # second merge appends to history
+    data = json.loads(path.read_text())
+    assert data["scale_2k"]["peers"] == 2_000
+    assert len(data["history"]["scale_2k"]) == 2
+
+
+def test_cli_scale_command(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    assert main([
+        "scale", "--peers", "2000", "--days", "0.5",
+        "--shards", "2", "--out", str(out_path),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "peers" in printed and "2,000" in printed
+    assert json.loads(out_path.read_text())["scale_2k"]["peers"] == 2_000
+
+
+def test_cli_scale_rejects_bad_shards(capsys):
+    assert main(["scale", "--peers", "2000", "--shards", "lots"]) == 2

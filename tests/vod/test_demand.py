@@ -64,6 +64,10 @@ def _tiny_attached_system(sessions=30, policy="unrestricted", seed=5):
     class Pop:
         peers = []
 
+        @classmethod
+        def iter_peers(cls):
+            return iter(cls.peers)
+
     for _ in range(40):
         peer = system.create_peer(country=country, uploads_enabled=True)
         peer.boot()

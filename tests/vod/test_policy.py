@@ -121,6 +121,10 @@ class TestPopularitySeeding:
             peers = [system.create_peer(uploads_enabled=True)
                      for _ in range(20)]
 
+            @classmethod
+            def iter_peers(cls):
+                return iter(cls.peers)
+
         counters = VodCounters()
         policy = make_policy("popularity_seeding", [
             ep.obj.cid for ep in catalog.episodes()], counters=counters)
@@ -142,6 +146,10 @@ class TestPopularitySeeding:
 
         class Pop:
             peers = []
+
+            @classmethod
+            def iter_peers(cls):
+                return iter(cls.peers)
 
         policy = make_policy("popularity_seeding", [])
         assert policy.pre_seed(system, Pop, catalog, config,
