@@ -22,6 +22,7 @@ the CI bench gate checks against the committed baseline on every PR.
 
 from __future__ import annotations
 
+import gc
 import random
 import time
 
@@ -36,6 +37,7 @@ from repro.net.sim import Simulator
 from repro.workload import (
     CatalogConfig, DemandConfig, PopulationConfig, ScenarioConfig, run_scenario,
 )
+from repro.workload.devices import desktop_only
 
 #: Collected by the tests, dumped once at module teardown.
 RESULTS: dict[str, dict] = {}
@@ -333,6 +335,68 @@ def test_reputation_overhead_scenario():
         "overhead_fraction": round(overhead, 4),
     }
     assert overhead < 0.05, f"reputation engine costs {overhead:.1%} (budget 5%)"
+
+
+def test_device_tier_assignment_overhead():
+    """Tier assignment must cost a population build < 5% wall clock.
+
+    ``desktop_only()`` is the null mix: every class draw lands on a
+    desktop whose knobs match the ``device=None`` defaults (no uplink
+    cap, no cache budget, default mobility, zero selection weight), so
+    the two builds differ only by the tier machinery itself — the
+    per-peer class pick, the always-on OR draw, and the device column.
+
+    The build is the right place to gate: the class draws consume extra
+    RNG, so two whole *scenarios* diverge into different (statistically
+    equivalent) traces whose solver workloads differ by more than the
+    machinery — a wall-clock gate there would measure trace drift.  The
+    population build does identical per-peer work plus the tier leaf,
+    peer for peer, at either setting.
+    """
+    from repro.core.system import NetSessionSystem
+    from repro.workload.catalog import build_catalog
+    from repro.workload.population import build_population
+
+    def build_mode(tiered: bool) -> float:
+        system = NetSessionSystem(seed=13)
+        catalog = build_catalog(
+            random.Random(13 ^ 0xCA7), CatalogConfig(objects_per_provider=4))
+        for provider in catalog.providers:
+            system.register_provider(provider)
+        cfg = PopulationConfig(
+            n_peers=20_000, store="columnar",
+            device=desktop_only() if tiered else None)
+        # The build schedules ~1M session events; fence the collector so
+        # a GC pause landing in one arm doesn't masquerade as overhead.
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            build_population(system, catalog.providers, cfg)
+            return time.perf_counter() - started
+        finally:
+            gc.enable()
+
+    # Interleaved min-of-N, alternating which mode goes first each round:
+    # allocator state drifts monotonically over the process lifetime, so a
+    # fixed order would bill the drift to whichever mode runs second.
+    off_wall = on_wall = float("inf")
+    for i in range(6):
+        order = (False, True) if i % 2 == 0 else (True, False)
+        for tiered in order:
+            wall = build_mode(tiered)
+            if tiered:
+                on_wall = min(on_wall, wall)
+            else:
+                off_wall = min(off_wall, wall)
+    overhead = on_wall / off_wall - 1.0
+    RESULTS["device_tier_assignment_overhead"] = {
+        "peers": 20_000,
+        "off_wall_seconds": round(off_wall, 3),
+        "tiered_wall_seconds": round(on_wall, 3),
+        "overhead_fraction": round(overhead, 4),
+    }
+    assert overhead < 0.05, f"tier assignment costs {overhead:.1%} (budget 5%)"
 
 
 def test_audit_observe_overhead_scenario():

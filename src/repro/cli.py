@@ -31,6 +31,11 @@ Commands
     flags as ``run`` (scenarios fan out across the pool, the table renders
     serially, so stdout is byte-identical for every job count);
     ``--json`` emits the metrics as JSON for CI artifacts.
+``devices``
+    Run the device-tier sweep (``exp_device_tiers``): the heterogeneous
+    smartrouter/mobile/settop population vs the homogeneous baseline, with
+    class-aware ranking, reputation tie-breaks, and operator placement on
+    the router fleet.  Same runner flags and JSON mode as ``vod``.
 ``perf``
     Run the standard scenario once and print the simulator/allocation
     counters (:class:`~repro.core.system.SystemStats`); with ``--profile``,
@@ -183,6 +188,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_opts(vod)
     vod.add_argument("--json", action="store_true", dest="json_report",
                      help="emit the policy metrics as JSON (for CI artifacts)")
+
+    devices = sub.add_parser(
+        "devices",
+        help="run the device-tier sweep (smartrouter capture, ranking shift)",
+    )
+    _add_scale(devices)
+    _add_runner_opts(devices)
+    devices.add_argument("--json", action="store_true", dest="json_report",
+                         help="emit the tier metrics as JSON (for CI artifacts)")
 
     perf = sub.add_parser(
         "perf", help="run the standard scenario and print perf counters"
@@ -491,6 +505,33 @@ def _run_vod(args) -> int:
     return 0
 
 
+def _run_devices(args) -> int:
+    from repro.experiments import planned_configs
+    from repro.experiments.common import configure_runner, prefetch
+    from repro.experiments.exp_device_tiers import run
+    from repro.runner import default_jobs
+
+    configure_runner(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        cache=_resolve_cache(args),
+    )
+    # Same discipline as ``vod``: per-cell scenarios fan out across the
+    # pool, the table renders serially — byte-identical at any --jobs.
+    started = time.time()
+    prefetch(planned_configs("exp_device_tiers", args.scale, args.seed))
+    output = run(args.scale, args.seed)
+    if args.json_report:
+        print(json.dumps(
+            {"name": output.name, "scale": args.scale, "seed": args.seed,
+             "metrics": output.metrics},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(output.text)
+    print(f"# devices: {time.time() - started:.1f}s", file=sys.stderr)
+    return 0
+
+
 def _run_scale(args) -> int:
     from pathlib import Path
 
@@ -579,6 +620,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "vod":
         return _run_vod(args)
+
+    if args.command == "devices":
+        return _run_devices(args)
 
     if args.command == "perf":
         return _run_perf(args.scale, args.seed,

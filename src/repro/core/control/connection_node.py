@@ -25,7 +25,7 @@ from repro.core.control.database_node import DatabaseNode, PeerRegistration
 from repro.core.control.stun import StunService
 from repro.core.edge import AuthToken, EdgeNetwork
 from repro.core.messages import PeerCandidate, PeerQueryResponse, UsageReport
-from repro.core.selection import QueryContext, select_peers
+from repro.core.selection import QueryContext, device_rank_key, select_peers
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.accounting import AccountingService
@@ -87,6 +87,11 @@ class ConnectionNode:
         #: quarantined peers are filtered out of (and evicted from) the
         #: directory and candidates are ranked by score.  None = no defense.
         self.reputation = None
+        #: Optional device-tier ranking weights (class name -> weight),
+        #: installed by population synthesis when a device mix declares
+        #: non-zero selection weights.  Composes with the reputation rank
+        #: (class dominates, score breaks ties).  None = class-blind.
+        self.device_rank_weights = None
         #: Candidates returned on the *first* query per (guid, cid) — feeds
         #: the Figure 6 field of the download record.
         self.first_query_counts: dict[tuple[str, str], int] = {}
@@ -155,6 +160,7 @@ class ConnectionNode:
             registered_at=now,
             refreshed_at=now,
             lan_id=peer.lan_id,
+            device_class=peer.device_class,
         ))
         if added:
             self.logstore.add_registration(RegistrationRecord(
@@ -224,6 +230,8 @@ class ConnectionNode:
             rank_key = reputation.rank_key(now)
             candidate_filter = _compose_admission(
                 candidate_filter, reputation, now)
+        if self.device_rank_weights is not None:
+            rank_key = device_rank_key(self.device_rank_weights, rank_key)
         selected = select_peers(
             pool,
             context,

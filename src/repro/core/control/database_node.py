@@ -38,6 +38,9 @@ class PeerRegistration:
     refreshed_at: float
     #: Corporate LAN site id; "" for residential peers (§5.3 extension).
     lan_id: str = ""
+    #: Device-tier name ("desktop" covers the homogeneous default); feeds
+    #: class-aware candidate ranking when a device mix sets weights.
+    device_class: str = "desktop"
 
 
 class DatabaseNode:

@@ -125,6 +125,11 @@ class PeerNode:
         #: slow_loris throttle factor rides along with that profile.
         self.adversary_profile: Optional[str] = None
         self.adversary_slow_factor = 1.0
+        #: Device tier (a :class:`repro.workload.devices.DeviceClass`), or
+        #: None for the homogeneous-desktop default.  Set by population
+        #: synthesis when ``PopulationConfig.device`` declares a mix; caps
+        #: the upload rate and the cache budget, and drives scheduling.
+        self.device = None
 
         self.cache: dict[str, CacheEntry] = {}
         self.uploads_done: dict[str, int] = {}
@@ -167,6 +172,11 @@ class PeerNode:
     def lan_id(self) -> str:
         """The peer's LAN site id, or "" for residential peers."""
         return self.lan.site_id if self.lan is not None else ""
+
+    @property
+    def device_class(self) -> str:
+        """Device-tier name ("desktop" for the homogeneous default)."""
+        return self.device.name if self.device is not None else "desktop"
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -304,6 +314,14 @@ class PeerNode:
     def add_to_cache(self, cid: str) -> None:
         """Cache a completed object; register it and schedule expiry (§3.9)."""
         now = self.system.sim.now
+        budget = self.device.cache_objects if self.device is not None else None
+        if budget is not None and cid not in self.cache:
+            # Storage-poor tiers hold only `cache_objects` entries: evict
+            # the oldest (ties broken by cid, so both stores agree).
+            while len(self.cache) >= budget:
+                oldest = min(self.cache.values(),
+                             key=lambda e: (e.completed_at, e.cid))
+                self._evict(oldest.cid)
         self.cache[cid] = CacheEntry(cid=cid, completed_at=now)
         retention = self.system.config.client.cache_retention
         self.system.sim.schedule(retention, lambda: self._evict(cid))
@@ -377,7 +395,12 @@ class PeerNode:
         # adversary_slow_factor is 1.0 for honest peers; a slow-loris peer
         # trickles at a tiny fraction of its honest cap, pinning the
         # downloader's connection slot.
-        return max(1.0, fraction * self.link.up_bps * self.adversary_slow_factor)
+        rate = fraction * self.link.up_bps * self.adversary_slow_factor
+        if self.device is not None and self.device.uplink_cap_bps is not None:
+            # Device-tier budget (router QoS carve-out, cellular friendliness)
+            # caps the throttled rate, never the other way around.
+            rate = min(rate, self.device.uplink_cap_bps)
+        return max(1.0, rate)
 
     def set_link_busy(self, busy: bool) -> None:
         """User traffic appeared/cleared on the link: re-throttle uploads."""

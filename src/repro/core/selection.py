@@ -29,7 +29,8 @@ from repro.net.nat import NATType, can_connect
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
     from repro.core.control.database_node import PeerRegistration
 
-__all__ = ["QueryContext", "select_peers", "specificity_level"]
+__all__ = ["QueryContext", "device_rank_key", "select_peers",
+           "specificity_level"]
 
 #: Specificity levels, most specific first.  Same-LAN peers (§5.3's
 #: corporate-network case) beat everything: bytes never leave the building.
@@ -63,6 +64,21 @@ def specificity_level(query: QueryContext, reg: "PeerRegistration") -> int:
     if reg.region == query.region:
         return _LEVEL_REGION
     return _LEVEL_WORLD
+
+
+def device_rank_key(weights: dict, inner=None):
+    """Class-aware rank key: device-tier weight first, inner score second.
+
+    ``weights`` maps device-class names to ranking weights (an operator
+    boosting its always-on smartrouter fleet, say); an ``inner`` key — the
+    reputation score, typically — breaks ties within a class.  Ranking
+    consumes no RNG, so installing it never moves an unrelated draw.
+    """
+    if inner is None:
+        return lambda reg: (weights.get(getattr(reg, "device_class",
+                                                "desktop"), 0.0), 0.0)
+    return lambda reg: (weights.get(getattr(reg, "device_class",
+                                            "desktop"), 0.0), inner(reg))
 
 
 def select_peers(

@@ -336,6 +336,9 @@ class NetSessionSystem:
         #: Ground truth for drills/experiments: guid -> profile for every
         #: peer an adversary assignment converted.  Empty in honest runs.
         self.adversary_truth: dict[str, str] = {}
+        #: Device-tier mix (:class:`repro.workload.devices.DeviceMixConfig`)
+        #: installed by population synthesis; None for homogeneous desktops.
+        self.device_mix = None
         #: CN-side reputation engine; None unless the defense is enabled,
         #: in which case every CN ranks and filters candidates through it.
         self.reputation = None

@@ -23,7 +23,7 @@ ALL_EXPERIMENTS = [
     "exp_baselines", "exp_ablation_locality", "exp_ablation_backstop",
     "exp_lan_updates", "exp_ablation_prefetch", "exp_managed_swarm",
     "exp_fault_matrix", "exp_blackout_recovery", "exp_vod_policies",
-    "exp_adversarial_resilience",
+    "exp_adversarial_resilience", "exp_device_tiers",
 ]
 
 

@@ -95,6 +95,13 @@ class FuzzSpec:
     #: bit-identical to a pre-sharding fuzzer).  Exercises the columnar
     #: store, lazy materialization, and the shard merge/reconcile pass.
     shards: int = 0
+    #: Device-tier mix for the mini-scenario ("off" or a preset name from
+    #: :data:`repro.workload.devices.PRESET_MIXES`).  "off" keeps the run
+    #: bit-identical to a pre-device fuzzer; any preset forces the
+    #: mini-scenario to run (unsharded if ``shards == 0``) with
+    #: heterogeneous classes under strict invariants, exercising the
+    #: device columns, class scheduling, caps, and the budget checker.
+    device_mix: str = "off"
 
     def label(self) -> str:
         """Compact identifier for logs and test ids."""
@@ -160,6 +167,8 @@ def generate(seed: int) -> FuzzSpec:
         adversary_profile=rng.choice((None, None) + _PROFILES),
         defense=rng.random() < 0.5,
         shards=rng.choice((0, 0, 0, 1, 2, 4)),
+        device_mix=rng.choice(
+            ("off", "off", "off", "balanced", "router_heavy", "mobile_heavy")),
     )
 
 
@@ -316,11 +325,14 @@ def run_spec(spec: FuzzSpec) -> FuzzResult:
 
         # The sharded mini-scenario goes truly last — a second, tiny
         # region-sharded ScenarioConfig run under strict invariants, built
-        # from its own seeds.  With shards == 0 nothing here exists and the
-        # run is bit-identical to a pre-sharding fuzzer.  Shard-isolation
+        # from its own seeds.  With shards == 0 and device_mix == "off"
+        # nothing here exists and the run is bit-identical to a
+        # pre-sharding fuzzer.  A device mix forces the run (unsharded
+        # when shards == 0) so the tier columns, class scheduling, and the
+        # device-budget checker get fuzz coverage.  Shard-isolation
         # breaches surface as ValueError from the reconcile pass (a crash,
         # not a recorded failure: the sweep must stop on those).
-        if spec.shards > 0:
+        if spec.shards > 0 or spec.device_mix != "off":
             _run_sharded_mini_scenario(spec)
     except InvariantViolationError as exc:
         return FuzzResult(spec=spec, failure=exc)
@@ -344,10 +356,13 @@ def _run_sharded_mini_scenario(spec: FuzzSpec) -> None:
     """
     from repro.runner import run_scenario_artifact
     from repro.workload.demand import DemandConfig
+    from repro.workload.devices import PRESET_MIXES
     from repro.workload.population import PopulationConfig
     from repro.workload.scenario import ScenarioConfig
     from repro.workload.sharding import ShardingConfig
 
+    device = (PRESET_MIXES[spec.device_mix]()
+              if spec.device_mix != "off" else None)
     duration_days = min(spec.duration_hours, 6.0) / 24.0
     config = ScenarioConfig(
         seed=spec.seed,
@@ -360,11 +375,13 @@ def _run_sharded_mini_scenario(spec: FuzzSpec) -> None:
             defense=DefenseConfig(enabled=spec.defense),
         ),
         population=PopulationConfig(
-            n_peers=10 * (spec.n_seeders + spec.n_downloaders)),
+            n_peers=10 * (spec.n_seeders + spec.n_downloaders),
+            device=device),
         demand=DemandConfig(
             total_downloads=5 * spec.n_downloaders,
             duration_days=duration_days),
-        sharding=ShardingConfig(shards=spec.shards),
+        sharding=(ShardingConfig(shards=spec.shards)
+                  if spec.shards > 0 else None),
         warm_copies_per_peer=1.0,
     )
     run_scenario_artifact(config)
@@ -405,6 +422,8 @@ def _candidates(spec: FuzzSpec) -> list[FuzzSpec]:
                            adversary_profile=None))
     if spec.defense:
         out.append(replace(spec, defense=False))
+    if spec.device_mix != "off":
+        out.append(replace(spec, device_mix="off"))
     if spec.shards:
         out.append(replace(spec, shards=0))
     if spec.vod_streams:

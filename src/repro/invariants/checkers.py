@@ -449,3 +449,46 @@ def check_quarantine_exclusion(system: "NetSessionSystem", report: Report) -> No
                     # entry here is a defense bypass, not tolerated drift.
                     report("error", f"dn:{dn.name}:{guid[:8]}/{cid}",
                            "directory entry for a quarantined peer")
+
+
+@register_checker(
+    "device-budget",
+    "device-tier budgets hold: legal classes, uplink caps, cache limits",
+)
+def check_device_budgets(system: "NetSessionSystem", report: Report) -> None:
+    mix = system.device_mix
+    if mix is None:
+        return
+    legal = {cls.name for cls in mix.classes}
+    client = system.config.client
+    for peer in system.all_peers:
+        device = peer.device
+        name = peer.device_class
+        subject = f"device:{peer.guid[:8]}"
+        if device is not None and name not in legal:
+            report("error", subject,
+                   f"device class {name!r} not in the declared mix {sorted(legal)}")
+            continue
+        if device is None:
+            continue
+        # Recompute the per-flow cap from first principles: the client
+        # throttle fraction, the access link, the adversary slow factor,
+        # and the tier's uplink budget.  Every live upload flow must obey
+        # it — a cap implementation that forgets the device term fails here
+        # within one audit interval.
+        fraction = (client.backoff_rate_fraction if peer.link_busy
+                    else client.upload_rate_fraction)
+        cap = fraction * peer.link.up_bps * peer.adversary_slow_factor
+        if device.uplink_cap_bps is not None:
+            cap = min(cap, device.uplink_cap_bps)
+        cap = max(1.0, cap)
+        for flow in peer.upload_flows:
+            if flow.cap is not None and flow.cap > cap * (1.0 + _REL) + _ABS:
+                report("error", subject,
+                       f"upload flow capped at {flow.cap:.0f} B/s exceeds the "
+                       f"{name} device budget {cap:.0f} B/s")
+        if device.cache_objects is not None \
+                and len(peer.cache) > device.cache_objects:
+            report("error", subject,
+                   f"{len(peer.cache)} cached objects exceed the {name} "
+                   f"budget of {device.cache_objects}")

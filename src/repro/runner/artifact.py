@@ -72,6 +72,10 @@ class ScenarioArtifact:
     #: per-region peer counts, and — when ``reconcile`` is on — the
     #: cross-region reconciliation matrix.  {} for unsharded runs.
     sharding: dict = field(default_factory=dict)
+    #: Device-tier record for tiered runs ({} without a device mix):
+    #: ``census`` (class name -> install count) and ``classes``
+    #: (guid -> class name, for per-class byte attribution).
+    devices: dict = field(default_factory=dict)
 
     @property
     def invariants(self):
@@ -118,7 +122,18 @@ def artifact_from_result(
         timeline=timeline,
         violations=tuple(v.as_dict() for v in result.system.auditor.report()),
         adversary=adversary_metrics(result.system),
+        devices=_device_record(result),
     )
+
+
+def _device_record(result: ScenarioResult) -> dict:
+    if result.config.population.device is None:
+        return {}
+    population = result.population
+    return {
+        "census": population.device_census(),
+        "classes": population.device_classes(),
+    }
 
 
 def run_scenario_artifact(config: ScenarioConfig) -> ScenarioArtifact:

@@ -239,6 +239,18 @@ def _merge_census(censuses: list[dict]) -> dict:
     return out
 
 
+def _merge_devices(records: list[dict]) -> dict:
+    """Sum the class censuses, union the guid->class maps."""
+    present = [r for r in records if r]
+    if not present:
+        return {}
+    return {
+        "census": _merge_census([r["census"] for r in present]),
+        "classes": {guid: name for r in present
+                    for guid, name in r["classes"].items()},
+    }
+
+
 def _merge_adversary(metrics: list[dict]) -> dict:
     """Sum the counters, recompute the derived rate over the merged total."""
     present = [m for m in metrics if m]
@@ -359,6 +371,7 @@ def merge_shard_artifacts(
         violations=tuple(violations),
         adversary=_merge_adversary([art.adversary for _, art in shards]),
         sharding=sharding_record,
+        devices=_merge_devices([art.devices for _, art in shards]),
     )
 
 

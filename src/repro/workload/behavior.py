@@ -151,8 +151,13 @@ class UserBehavior:
         horizon = duration_days * DAY
         scheduled = 0
         for peer in population.iter_peers():
-            # Poisson-ish: expected busy periods over the trace.
-            expected = prob_per_hour * duration_days * 24.0
+            # Poisson-ish: expected busy periods over the trace.  Device
+            # tiers scale the rate (a dedicated router's link is rarely
+            # busy; a phone's is often); the multiplier is 1.0 — and the
+            # draw sequence untouched — without a device mix.
+            device = peer.device
+            busy_mult = device.link_busy_mult if device is not None else 1.0
+            expected = prob_per_hour * duration_days * 24.0 * busy_mult
             t = rng.expovariate(max(expected, 1e-9) / horizon)
             while t < horizon:
                 length = rng.uniform(300.0, 3600.0)

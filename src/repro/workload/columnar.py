@@ -42,6 +42,7 @@ from repro.core.ids import make_guid
 from repro.core.peer import PeerNode
 from repro.net.links import AccessLink
 from repro.net.flows import Resource
+from repro.net.nat import NATProfile, NATType
 
 try:  # soft dependency, mirroring the flow kernel's gating
     import numpy as _np
@@ -213,6 +214,11 @@ _COLUMN_READS = {
         p._lan[i].site_id if i in p._lan else ""
     ),
     "tz_offset": lambda p, i: float(p.tz[i]),
+    "device": lambda p, i: p.device_at(i),
+    "device_class": lambda p, i: (
+        p._device_classes[p.device_i[i]].name if p.device_i[i] >= 0
+        else "desktop"
+    ),
 }
 
 
@@ -290,6 +296,10 @@ class ColumnarPopulationStore:
         self.attacker = _u1(())
         self.always_on = _u1(())
         self.tz = _f8(())
+        #: Device-tier column: index into ``_device_classes`` or -1 for the
+        #: homogeneous default (``PopulationConfig.device`` is None).
+        self.device_i = _i4(())
+        self._device_classes: tuple = ()
         #: First ``peerN`` naming slot this store occupies (normally 0).
         self.name_base = 0
         # Sparse side tables.
@@ -323,6 +333,11 @@ class ColumnarPopulationStore:
 
     def tz_view(self) -> _TzView:
         return _TzView(self)
+
+    def device_at(self, i: int):
+        """Row ``i``'s :class:`DeviceClass`, or None without a tier mix."""
+        idx = self.device_i[i]
+        return self._device_classes[idx] if idx >= 0 else None
 
     def index_of(self, guid: str) -> int:
         """Row index of ``guid`` (builds the reverse index on first use)."""
@@ -373,6 +388,7 @@ class ColumnarPopulationStore:
         )
         node.piece_corruption_prob = float(self.corruption[i])
         node.accounting_attacker = bool(self.attacker[i])
+        node.device = self.device_at(i)
         if i in self._lan:
             node.lan = self._lan[i]
         node._store_index = i
@@ -476,7 +492,12 @@ def build_columnar_store(
     seeds, country_i, city_i, as_i = [], [], [], []
     tier_i, down, up, nat_i = [], [], [], []
     uploads, installed, corruption, attacker, always, tz = [], [], [], [], [], []
+    device_i = []
     default_corruption = system.config.client.piece_corruption_prob
+    mix = cfg.device
+    if mix is not None:
+        store._device_classes = mix.classes
+        device_index = {cls.name: j for j, cls in enumerate(mix.classes)}
 
     for _ in range(n):
         installed_from = rng.choice(providers) if providers else None
@@ -498,6 +519,18 @@ def build_columnar_store(
         broken = rng.random() < cfg.broken_fraction
         is_attacker = rng.random() < cfg.attacker_fraction
         is_always_on = rng.random() < cfg.always_on_fraction
+        if mix is None:
+            device_i.append(-1)
+        else:
+            # Exactly the object-mode draw order: class pick, always-on
+            # override, optional NAT override (only for classes with one).
+            cls = mix.pick(rng.random())
+            device_i.append(device_index[cls.name])
+            if rng.random() < cls.always_on_prob:
+                is_always_on = True
+            if cls.nat_open_prob is not None and rng.random() < cls.nat_open_prob:
+                nat = NATProfile(true_type=NATType.OPEN,
+                                 reported_type=NATType.OPEN)
 
         guids.append(guid)
         seeds.append(peer_seed)
@@ -534,4 +567,5 @@ def build_columnar_store(
     store.attacker = _u1(attacker)
     store.always_on = _u1(always)
     store.tz = _f8(tz)
+    store.device_i = _i4(device_i)
     return store

@@ -78,7 +78,9 @@ class MobilityModel:
         """
         census = {"stationary": 0, "commuter": 0, "roamer": 0, "traveler": 0}
         for peer in population.iter_peers():
-            cls = self._draw_class()
+            device = peer.device
+            cls = self._draw_class(
+                device.mobility if device is not None else "default")
             self.classes[peer.guid] = cls
             census[cls] += 1
             if cls == "commuter":
@@ -89,16 +91,26 @@ class MobilityModel:
                 self._schedule_traveler(peer, duration_days)
         return census
 
-    def _draw_class(self) -> str:
+    def _draw_class(self, device_mobility: str = "default") -> str:
+        """One uniform draw, mapped through the class fractions.
+
+        ``device_mobility`` reshapes the mapping without changing the draw
+        count: "stationary" devices (wall-plugged routers, set-top boxes)
+        never move; "nomadic" ones (phones) roam and travel three times as
+        often.  "default" is the unmodified population mix.
+        """
         cfg = self.config
         u = self.rng.random()
+        if device_mobility == "stationary":
+            return "stationary"
+        scale = 3.0 if device_mobility == "nomadic" else 1.0
         if u < cfg.commuter_fraction:
             return "commuter"
         u -= cfg.commuter_fraction
-        if u < cfg.roamer_fraction:
+        if u < scale * cfg.roamer_fraction:
             return "roamer"
-        u -= cfg.roamer_fraction
-        if u < cfg.traveler_fraction:
+        u -= scale * cfg.roamer_fraction
+        if u < scale * cfg.traveler_fraction:
             return "traveler"
         return "stationary"
 

@@ -35,6 +35,8 @@ from repro.core.content import ContentProvider
 from repro.core.peer import PeerNode
 from repro.core.system import NetSessionSystem
 from repro.net.lan import LanSite
+from repro.net.nat import NATProfile, NATType
+from repro.workload.devices import DeviceMixConfig
 
 __all__ = ["PopulationConfig", "Population", "build_population", "diurnal_rate"]
 
@@ -74,6 +76,11 @@ class PopulationConfig:
     #: 40 days of boot/shutdown cycles for every install would swamp the
     #: event heap before the trace starts.  None (default) schedules all.
     active_peer_cap: int | None = None
+    #: Device-tier mix (smartrouter/mobile/settop heterogeneity).  None —
+    #: the default — draws nothing and keeps every golden byte-identical;
+    #: a :class:`DeviceMixConfig` adds three class draws per peer in both
+    #: stores (class pick, always-on override, optional NAT override).
+    device: DeviceMixConfig | None = None
 
     def __post_init__(self):
         if self.n_peers <= 0:
@@ -131,27 +138,56 @@ class Population:
         """Number of installations."""
         return len(self.peers)
 
-    def iter_peers(self) -> Iterator[PeerNode]:
+    def iter_peers(self, device_class: str | None = None) -> Iterator[PeerNode]:
         """Iterate the installed base in creation order.
 
         The one sanctioned way to write a population-wide scan: with a
         columnar store it yields lazy handles whose reads come from the
         columns, so sweeping a million peers materializes none of them.
+        ``device_class`` filters to one tier (``peer.device_class`` is a
+        dormant column read, so the filtered scan is scan-cheap too).
         """
-        return iter(self.peers)
+        if device_class is None:
+            return iter(self.peers)
+        return (p for p in self.peers if p.device_class == device_class)
 
-    def sample_peers(self, rng: random.Random, k: int) -> list[PeerNode]:
+    def sample_peers(self, rng: random.Random, k: int,
+                     device_class: str | None = None) -> list[PeerNode]:
         """Draw ``k`` distinct peers with ``rng.sample`` semantics.
 
-        The draw sequence depends only on the population size, so object
-        and columnar stores select the same creation-order indexes from
-        the same RNG state — fault and adversary selections stay parity.
+        The draw sequence depends only on the (filtered) population size,
+        so object and columnar stores select the same creation-order
+        indexes from the same RNG state — fault and adversary selections
+        stay parity.  ``device_class`` restricts the draw to one tier.
         """
-        k = min(k, self.peer_count())
+        if device_class is None:
+            k = min(k, self.peer_count())
+            if self.store is None:
+                return rng.sample(list(self.peers), k)
+            store = self.store
+            return [store.handle(i) for i in rng.sample(range(len(store)), k)]
+        indices = [i for i, p in enumerate(self.peers)
+                   if p.device_class == device_class]
+        k = min(k, len(indices))
+        picked = rng.sample(indices, k)
         if self.store is None:
-            return rng.sample(list(self.peers), k)
-        store = self.store
-        return [store.handle(i) for i in rng.sample(range(len(store)), k)]
+            return [self.peers[i] for i in picked]
+        return [self.store.handle(i) for i in picked]
+
+    def device_census(self) -> dict[str, int]:
+        """Install count per device class (``{}`` when tiers are off)."""
+        census: dict[str, int] = {}
+        for peer in self.peers:
+            if peer.device is None:
+                continue
+            name = peer.device.name
+            census[name] = census.get(name, 0) + 1
+        return census
+
+    def device_classes(self) -> dict[str, str]:
+        """guid → device-class name for tiered peers (dormant reads)."""
+        return {p.guid: p.device.name for p in self.peers
+                if p.device is not None}
 
     def override_upload_settings(self, rng: random.Random, probability: float) -> None:
         """Re-draw every peer's uploads-enabled flag (the Table 4 override).
@@ -186,15 +222,16 @@ class Population:
         peer.lan = site
 
     def _session_rows(self):
-        """(peer, tz_offset, always_on) per install, in creation order."""
+        """(peer, tz_offset, always_on, device) per install, creation order."""
         store = self.store
         if store is None:
             return (
-                (p, self.tz_offset[p.guid], p.guid in self.always_on)
+                (p, self.tz_offset[p.guid], p.guid in self.always_on, p.device)
                 for p in self.peers
             )
         return (
-            (store.handle(i), float(store.tz[i]), bool(store.always_on[i]))
+            (store.handle(i), float(store.tz[i]), bool(store.always_on[i]),
+             store.device_at(i))
             for i in range(len(store))
         )
 
@@ -242,12 +279,27 @@ def build_population(
             tz_offset[peer.guid] = (peer.city.lon / 15.0) * 3600.0
             if rng.random() < cfg.always_on_fraction:
                 always_on.add(peer.guid)
+            if cfg.device is not None:
+                cls = cfg.device.pick(rng.random())
+                peer.device = cls
+                if rng.random() < cls.always_on_prob:
+                    always_on.add(peer.guid)
+                if cls.nat_open_prob is not None \
+                        and rng.random() < cls.nat_open_prob:
+                    peer.nat_profile = NATProfile(
+                        true_type=NATType.OPEN, reported_type=NATType.OPEN)
 
         population = Population(
             peers=peers, tz_offset=tz_offset, always_on=always_on)
 
     _assign_corporate_sites(population, cfg, rng)
     _schedule_sessions(system, population, cfg, rng)
+    system.device_mix = cfg.device
+    if cfg.device is not None:
+        weights = cfg.device.rank_weights()
+        if weights is not None:
+            for cn in system.control.all_cns:
+                cn.device_rank_weights = weights
     return population
 
 
@@ -305,13 +357,21 @@ def _schedule_sessions(
     if cfg.active_peer_cap is not None and cfg.active_peer_cap < count:
         chosen = set(rng.sample(range(count), cfg.active_peer_cap))
     uptime_mean = cfg.mean_daily_uptime_hours * 3600.0
-    for index, (peer, tz, is_always_on) in enumerate(population._session_rows()):
+    rows = enumerate(population._session_rows())
+    for index, (peer, tz, is_always_on, device) in rows:
         if chosen is not None and index not in chosen:
             continue
         if is_always_on:
             sim.schedule(rng.uniform(0, 3600.0), peer.boot)
             continue
-        _schedule_peer_days(system, peer, tz, uptime_mean, rng)
+        if device is None:
+            _schedule_peer_days(system, peer, tz, uptime_mean, rng)
+        else:
+            # Class-driven availability: a mobile install keeps short,
+            # frequently skipped sessions; a settop box sits in between.
+            _schedule_peer_days(
+                system, peer, tz, device.uptime_hours_mean * 3600.0, rng,
+                skip_prob=device.daily_skip_prob)
 
 
 def _schedule_peer_days(
@@ -322,10 +382,11 @@ def _schedule_peer_days(
     rng: random.Random,
     *,
     horizon_days: int = 40,
+    skip_prob: float = 0.12,
 ) -> None:
     sim = system.sim
     for day in range(horizon_days):
-        if rng.random() < 0.12:
+        if rng.random() < skip_prob:
             continue  # machine stays off today
         # Local morning start: 8am ± 2h, mapped back to simulation (UTC) time.
         local_start = day * DAY + rng.gauss(8.0, 2.0) * 3600.0

@@ -22,6 +22,7 @@ from repro.adversary.profiles import AdversaryConfig, assign_adversaries
 from repro.analysis.logstore import LogStore
 from repro.core.config import SystemConfig
 from repro.core.peer import CacheEntry
+from repro.core.placement import PlacementConfig
 from repro.core.system import NetSessionSystem
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultSpec
@@ -61,6 +62,10 @@ class ScenarioConfig:
     #: Extension (paper's explicit non-feature, §5.2): run the predictive
     #: placement policy that prefetches hot objects into thin regions.
     predictive_placement: bool = False
+    #: Placement-policy knobs (interval, copies target, device-class
+    #: steering).  None uses :class:`PlacementConfig` defaults; setting it
+    #: implies the placer runs even with ``predictive_placement=False``.
+    placement: PlacementConfig | None = None
     #: When set, every peer's initial uploads-enabled setting is re-drawn
     #: with this probability, overriding the per-provider Table 4 mix —
     #: the "what if every customer shipped like Customer D" sweep lever.
@@ -182,6 +187,10 @@ def seed_warm_caches(
         peer = rng.choice(pool)
         if peer.has_complete(obj.cid):
             continue
+        device = peer.device
+        if device is not None and device.cache_objects is not None \
+                and len(peer.cache) >= device.cache_objects:
+            continue  # storage-poor tier already at its budget
         seeded_per_obj[obj.cid] = seeded_per_obj.get(obj.cid, 0) + 1
         peer.cache[obj.cid] = CacheEntry(cid=obj.cid, completed_at=0.0)
         retention = system.config.client.cache_retention
@@ -259,10 +268,10 @@ def run_scenario(
         injector = FaultInjector(system, cfg.faults, seed=cfg.seed ^ 0xFA17)
         injector.arm()
 
-    if cfg.predictive_placement:
+    if cfg.predictive_placement or cfg.placement is not None:
         from repro.core.placement import PredictivePlacer
 
-        placer = PredictivePlacer(system, catalog.objects)
+        placer = PredictivePlacer(system, catalog.objects, cfg.placement)
         placer.start()
 
     vod_runtime = None

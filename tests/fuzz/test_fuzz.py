@@ -85,6 +85,25 @@ class TestRunSpec:
         assert result.ok, f"{result.spec.label()}: {result.failure}"
         assert result.completed_downloads > 0
 
+    def test_device_smoke_holds_strict_invariants(self):
+        # A heterogeneous-tier mini-scenario (router-heavy mix: uplink
+        # caps, cache budgets, class-driven sessions) must stay clean
+        # under strict invariants, device-budget checker included.
+        spec = dataclasses.replace(generate(0), device_mix="router_heavy")
+        result = run_spec(spec)
+        assert result.ok, f"{result.spec.label()}: {result.failure}"
+        assert result.completed_downloads > 0
+
+    def test_device_knob_is_seed_stable(self):
+        # device_mix draws last: toggling its fuzzability must not move
+        # any older field of the same seed (the pre-device byte streams).
+        for seed in SMOKE_SEEDS:
+            spec = generate(seed)
+            assert spec.device_mix in (
+                "off", "balanced", "router_heavy", "mobile_heavy")
+            off = dataclasses.replace(spec, device_mix="off")
+            assert off.label() == spec.label()
+
     def test_adversary_knobs_are_orthogonal_to_honest_runs(self):
         # Toggling the defense on a fully honest spec must not perturb the
         # simulation: the reputation layer only *observes* honest traffic.
@@ -132,6 +151,16 @@ class TestShrink:
         assert shrunk.adversary_fraction == 0.0
         assert shrunk.adversary_profile is None
         assert shrunk.defense is False
+
+    def test_shrinks_device_mix_to_all_desktop(self):
+        # A device mix irrelevant to the failure must leave the
+        # reproducer: shrink offers device_mix="off" early, so the oracle
+        # keeps the minimal homogeneous (all-desktop) scenario.
+        spec = dataclasses.replace(
+            generate(3), device_mix="mobile_heavy", fault_scenario="cn_flap")
+        shrunk = shrink(
+            spec, still_fails=lambda s: s.fault_scenario is not None)
+        assert shrunk.device_mix == "off"
 
     def test_attempt_budget_respected(self):
         calls = []

@@ -18,6 +18,7 @@ from repro.core.control.channel import DEGRADED, PROBING, RETRYING
 from repro.core.peer import CacheEntry
 from repro.core.system import NetSessionSystem
 from repro.net.flows import Resource
+from repro.workload.devices import DeviceClass, DeviceMixConfig
 
 MB = 1024 * 1024
 
@@ -236,6 +237,59 @@ class TestChannelState:
         ch.consecutive_failures = ch.cfg.breaker_threshold
         violations = system.audit(final=False)
         assert any("tripped the breaker" in v.detail for v in violations)
+
+
+class TestDeviceBudget:
+    def _mix(self):
+        router = DeviceClass(name="smartrouter", share=1.0,
+                             uplink_cap_bps=1000.0, cache_objects=2)
+        return router, DeviceMixConfig(classes=(router,))
+
+    def test_device_free_system_is_skipped(self):
+        # No declared mix: the checker must not second-guess a
+        # homogeneous population (goldens depend on this).
+        system, peer, _ = live_system()
+        assert subjects(system.audit(final=False), "device-budget") == set()
+
+    def test_flow_exceeding_the_tier_cap(self):
+        system, peer, _ = live_system()
+        router, mix = self._mix()
+        system.device_mix = mix
+        # Retroactively declare the live uploader a smartrouter: its
+        # in-flight flow was capped at the raw link rate, far above the
+        # tier's 1 kB/s budget.
+        uploader = next(p for p in system.all_peers if p.upload_flows)
+        uploader.device = router
+        assert f"device:{uploader.guid[:8]}" in subjects(
+            system.audit(final=False), "device-budget")
+
+    def test_cache_over_the_tier_budget(self):
+        system, peer, _ = live_system()
+        router, mix = self._mix()
+        system.device_mix = mix
+        peer.device = router
+        for i in range(3):  # budget is 2
+            peer.cache[f"stuffed/{i}"] = CacheEntry(
+                cid=f"stuffed/{i}", completed_at=0.0)
+        assert f"device:{peer.guid[:8]}" in subjects(
+            system.audit(final=False), "device-budget")
+
+    def test_class_outside_the_declared_mix(self):
+        system, peer, _ = live_system()
+        _, mix = self._mix()
+        system.device_mix = mix
+        peer.device = DeviceClass(name="toaster", share=1.0)
+        violations = system.audit(final=False)
+        assert f"device:{peer.guid[:8]}" in subjects(
+            violations, "device-budget")
+        assert any("toaster" in v.detail for v in violations)
+
+    def test_compliant_tier_passes(self):
+        system, peer, _ = live_system()
+        router, mix = self._mix()
+        system.device_mix = mix
+        peer.device = router  # downloader: no upload flows, small cache
+        assert subjects(system.audit(final=False), "device-budget") == set()
 
 
 class TestFinalReconciliation:

@@ -12,12 +12,15 @@ from __future__ import annotations
 
 import pytest
 
+import repro.core.peer as peer_mod
 import repro.net.flows as flows_mod
 from repro.core.config import InvariantConfig, SystemConfig
 from repro.core.content import ContentObject, ContentProvider
 from repro.core.peer import CacheEntry
 from repro.core.system import NetSessionSystem
 from repro.invariants import InvariantViolationError
+from repro.net.nat import NATProfile, NATType
+from repro.workload.devices import DeviceClass, DeviceMixConfig
 
 MB = 1024 * 1024
 
@@ -114,6 +117,101 @@ class TestBrokenBreaker:
             system.run(until=7200.0)
             system.audit(final=True)
         assert exc.value.violation.invariant == "channel-state"
+
+
+class TestBrokenDeviceBudget:
+    def _tiered_workload(self, system, cls, *, object_mb=64, n_objects=1,
+                         seeder_cls=None):
+        """A tiered seeder feeding one downloader of class ``cls``."""
+        seeder_cls = cls if seeder_cls is None else seeder_cls
+        classes = ((cls,) if seeder_cls is cls else (cls, seeder_cls))
+        system.device_mix = DeviceMixConfig(classes=classes)
+        provider = ContentProvider(cp_code=9101, name="DevCo")
+        country = system.world.by_code["DE"]
+        seeder = system.create_peer(country=country, uploads_enabled=True)
+        seeder.device = seeder_cls
+        # The tier's port-forwarding override (what build_population does
+        # for smartrouters): the seeder must be reachable to serve p2p.
+        seeder.nat_profile = NATProfile(
+            true_type=NATType.OPEN, reported_type=NATType.OPEN)
+        peer = system.create_peer(country=country, uploads_enabled=True)
+        peer.device = cls
+        objs = []
+        for i in range(n_objects):
+            obj = ContentObject(f"devco/blob{i}.bin", object_mb * MB,
+                                provider, p2p_enabled=True)
+            system.publish(obj)
+            seeder.cache[obj.cid] = CacheEntry(obj.cid, completed_at=0.0)
+            objs.append(obj)
+        seeder.boot()
+        peer.boot()
+        for i, obj in enumerate(objs):
+            system.sim.schedule(60.0 + 30.0 * i,
+                                lambda o=obj: peer.start_download(o))
+        return peer
+
+    def test_cap_that_forgets_the_device_term_is_caught(self, monkeypatch):
+        """The bad-refactor shape: upload_rate_cap loses the device-tier
+        min().  Flows then run at the raw throttled link rate, which the
+        device-budget checker recomputes and rejects mid-upload."""
+
+        def broken(self):
+            cfg = self.system.config.client
+            fraction = (cfg.backoff_rate_fraction if self.link_busy
+                        else cfg.upload_rate_fraction)
+            return max(1.0, fraction * self.link.up_bps
+                       * self.adversary_slow_factor)
+
+        monkeypatch.setattr(peer_mod.PeerNode, "upload_rate_cap", broken)
+        system = strict_system()
+        router = DeviceClass(name="smartrouter", share=1.0,
+                             uplink_cap_bps=1000.0)
+        self._tiered_workload(system, router)
+        with pytest.raises(InvariantViolationError) as exc:
+            system.run(until=7200.0)
+            system.audit(final=True)
+        assert exc.value.violation.invariant == "device-budget"
+
+    def test_cache_that_ignores_the_budget_is_caught(self, monkeypatch):
+        """An add_to_cache that forgets tier eviction lets a one-object
+        tier hold two; the budget checker flags the second completion."""
+
+        def broken(self, cid):
+            # The pre-device implementation: insert, schedule expiry,
+            # register — no budget eviction.
+            now = self.system.sim.now
+            self.cache[cid] = CacheEntry(cid=cid, completed_at=now)
+            retention = self.system.config.client.cache_retention
+            self.system.sim.schedule(retention, lambda: self._evict(cid))
+            if self.uploads_enabled:
+                self.channel.register(
+                    cid, on_registered=lambda: self._mark_registered(cid))
+
+        monkeypatch.setattr(peer_mod.PeerNode, "add_to_cache", broken)
+        system = strict_system()
+        tiny = DeviceClass(name="mobile", share=1.0, cache_objects=1)
+        roomy = DeviceClass(name="smartrouter", share=1.0)
+        downloader = self._tiered_workload(
+            system, tiny, object_mb=32, n_objects=2, seeder_cls=roomy)
+        with pytest.raises(InvariantViolationError) as exc:
+            system.run(until=14400.0)
+            system.audit(final=True)
+        violation = exc.value.violation
+        assert violation.invariant == "device-budget"
+        assert violation.subject == f"device:{downloader.guid[:8]}"
+
+    def test_unbroken_tiered_workload_runs_clean(self):
+        """No false positives: the real cap and eviction logic hold the
+        same budgets the checker recomputes."""
+        system = strict_system()
+        tiny = DeviceClass(name="mobile", share=1.0, cache_objects=1)
+        router = DeviceClass(name="smartrouter", share=1.0,
+                             uplink_cap_bps=1000.0)
+        self._tiered_workload(
+            system, tiny, object_mb=32, n_objects=2, seeder_cls=router)
+        system.run(until=14400.0)
+        system.audit(final=True)
+        assert system.auditor.report() == []
 
 
 class TestBrokenEventLoop:

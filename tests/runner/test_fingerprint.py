@@ -14,8 +14,10 @@ import dataclasses
 import pytest
 
 from repro.adversary import AdversaryConfig
+from repro.core.placement import PlacementConfig
 from repro.faults.scenarios import build_scenario
 from repro.vod import VodConfig
+from repro.workload.devices import default_mix
 from repro.workload.sharding import ShardingConfig
 from repro.runner import (
     CACHE_SCHEMA_VERSION, cache_namespace, canonicalize, code_fingerprint,
@@ -59,6 +61,10 @@ def _candidates(value, name):
         return [AdversaryConfig()]
     if name == "sharding":  # Optional[ShardingConfig]; None = single trace
         return [ShardingConfig()]
+    if name == "device":  # Optional[DeviceMixConfig]; None = homogeneous
+        return [default_mix()]
+    if name == "placement":  # Optional[PlacementConfig]; None = defaults
+        return [PlacementConfig(copies_target=3)]
     if name == "profile_mix":  # fixed-length weight vector (one per profile)
         return [(value[0] + 1.0,) + tuple(value[1:])]
     if value is None:  # Optional[float] knobs (egress caps, overrides)
